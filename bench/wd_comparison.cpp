@@ -1,0 +1,66 @@
+// The paper's §IV-A complexity argument, measured: "the bottleneck of this
+// class of algorithms lies in the Θ(|V|²) memory space to construct W and
+// D". This harness builds the classical W/D matrices and runs the exact
+// W/D min-period retiming next to the O(|E|)-memory FEAS retimer across
+// growing circuits, reporting memory and wall clock for each.
+//
+// (The observability solvers never touch W/D; this is the measured reason
+// why — the same reason [20] and the paper abandon the matrices.)
+#include <cstdio>
+
+#include "core/min_period.hpp"
+#include "core/wd_matrices.hpp"
+#include "gen/random_circuit.hpp"
+#include "support/stopwatch.hpp"
+#include "support/table.hpp"
+
+int main() {
+  using namespace serelin;
+  TextTable t({"|V|", "|E|", "W/D bytes", "W/D build [s]", "exact period",
+               "exact solve [s]", "FEAS period", "FEAS [s]",
+               "FEAS memory"});
+  for (int gates : {250, 500, 1000, 2000, 4000}) {
+    RandomCircuitSpec spec;
+    spec.name = "wd" + std::to_string(gates);
+    spec.gates = gates;
+    spec.dffs = gates / 4;
+    spec.inputs = 12;
+    spec.outputs = 12;
+    spec.mean_fanin = 2.0;
+    spec.seed = 1000 + static_cast<std::uint64_t>(gates);
+    const Netlist nl = generate_random_circuit(spec);
+    CellLibrary lib;
+    RetimingGraph g(nl, lib);
+
+    Stopwatch build;
+    WdMatrices wd(g);
+    const double build_s = build.seconds();
+
+    Stopwatch solve;
+    const auto exact = wd_min_period(g, wd);
+    const double solve_s = solve.seconds();
+
+    Stopwatch feas_watch;
+    MinPeriodRetimer feas(g, {});
+    const auto approx = feas.minimize();
+    const double feas_s = feas_watch.seconds();
+    // FEAS state: one retiming label and one timing plane.
+    const std::size_t feas_bytes =
+        g.vertex_count() * (sizeof(std::int32_t) + 4 * sizeof(double)) +
+        g.edge_count() * sizeof(REdge);
+
+    t.add_row({std::to_string(g.vertex_count()),
+               std::to_string(g.edge_count()),
+               std::to_string(wd.memory_bytes()), fmt_fixed(build_s, 3),
+               fmt_fixed(exact.period, 1), fmt_fixed(solve_s, 3),
+               fmt_fixed(approx.period, 1), fmt_fixed(feas_s, 3),
+               std::to_string(feas_bytes)});
+  }
+  std::printf("Classical W/D matrices vs the O(|E|)-memory path "
+              "(paper §IV-A)\n\n%s\n", t.str().c_str());
+  std::printf("W/D memory grows quadratically and dominates beyond a few "
+              "thousand gates — the reason the regular-forest algorithms "
+              "exist. FEAS upper-bounds the exact period (it never moves "
+              "registers forward into output cones).\n");
+  return 0;
+}

@@ -1,0 +1,29 @@
+// Exhaustive reference solver for tiny circuits.
+//
+// Enumerates every decrease vector Δ with 0 <= Δ(v) <= bound on movable
+// vertices, checks P0/P1'/P2' feasibility of r = initial − Δ with the same
+// ConstraintChecker the real solvers use, and returns the feasible point of
+// maximum K-scaled gain Σ b(v)·Δ(v). This is the global optimum over the
+// forward (decrease-only) search space that the paper's monotone algorithm
+// explores; the property-test suite compares MinObsWinSolver and
+// ClosureSolver against it on hundreds of random small circuits.
+//
+// Cost is (bound+1)^|gates| × O(|E|): keep |gates| below ~10.
+#pragma once
+
+#include "core/solver.hpp"
+
+namespace serelin {
+
+struct ExhaustiveResult {
+  Retiming r;                       ///< best feasible retiming found
+  std::int64_t objective_gain = 0;  ///< its K-scaled gain over `initial`
+  std::int64_t feasible_points = 0; ///< number of feasible Δ enumerated
+};
+
+/// Requires a feasible `initial`. `bound` caps each vertex's decrease.
+ExhaustiveResult exhaustive_best(const RetimingGraph& g, const ObsGains& gains,
+                                 const SolverOptions& options,
+                                 const Retiming& initial, int bound);
+
+}  // namespace serelin

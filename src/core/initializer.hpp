@@ -1,0 +1,53 @@
+// Section V of the paper: choosing the clock period Φ, the short-path bound
+// R_min, and a feasible initial retiming for the MinObs/MinObsWin solvers.
+//
+// The paper starts from a circuit retimed for minimum period under setup
+// AND hold constraints (Lin–Zhou DAC'06 [23]); when no such retiming exists
+// (reconvergent paths), it falls back to plain min-period retiming [24]. The
+// resulting minimal period is relaxed by ε = 10%. R_min is then the minimal
+// register-output-to-boundary short path of the initial circuit — or, in
+// the fallback case, the minimal gate delay (the paper's choice for
+// s15850.1, which makes P2' behave like a plain hold floor).
+//
+// Our setup/hold pass mirrors that structure: min-period retiming first,
+// then a bounded greedy hold repair that applies the same forward
+// register moves a P2' fix uses. If the repair converges we have a
+// setup/hold-feasible start; otherwise we keep the setup-only retiming and
+// take the fallback R_min.
+#pragma once
+
+#include "rgraph/retiming_graph.hpp"
+#include "timing/params.hpp"
+
+namespace serelin {
+
+struct InitOptions {
+  double setup = 0.0;   ///< Ts (paper experiments: 0)
+  double hold = 2.0;    ///< Th (paper experiments: 2)
+  double epsilon = 0.10;  ///< period relaxation ε
+  int feas_passes = 0;    ///< FEAS budget forwarded to MinPeriodRetimer
+  /// Round the relaxed period up to an integer (the paper's Table I lists
+  /// integer Φ); disable for tests with fractional delays.
+  bool integer_period = true;
+};
+
+struct InitResult {
+  Retiming r;            ///< feasible initial retiming
+  TimingParams timing;   ///< chosen Φ (relaxed), Ts, Th
+  double rmin = 0.0;     ///< short-path bound for P2'
+  double min_period = 0.0;  ///< Φ_min before relaxation
+  bool setup_hold_ok = false;  ///< hold repair converged
+};
+
+/// Computes the Section-V initialization for graph `g`.
+InitResult initialize_retiming(const RetimingGraph& g,
+                               const InitOptions& options);
+
+/// Minimal register-output-to-boundary short path under retiming `r`:
+///   min over edges (u,v) with w_r > 0 of ( d(v) + min_after(v) ),
+/// zero when some register directly feeds a primary output. Returns +inf
+/// when the circuit has no registers at all.
+double min_short_path(const RetimingGraph& g, const Retiming& r,
+                      const TimingParams& params);
+
+}  // namespace serelin

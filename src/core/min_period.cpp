@@ -1,0 +1,86 @@
+#include "core/min_period.hpp"
+
+#include <algorithm>
+
+#include "support/check.hpp"
+#include "timing/graph_timing.hpp"
+
+namespace serelin {
+
+MinPeriodRetimer::MinPeriodRetimer(const RetimingGraph& g, Options options)
+    : g_(&g), opt_(options) {}
+
+std::optional<Retiming> MinPeriodRetimer::retime_for_period(
+    double phi, const Retiming& start) const {
+  const double budget = phi - opt_.setup;
+  Retiming r = start;
+  GraphTiming timing(*g_, TimingParams{phi, opt_.setup, 0.0});
+  const int passes =
+      opt_.max_passes > 0 ? opt_.max_passes
+                          : static_cast<int>(g_->vertex_count());
+  std::vector<char> moves(g_->vertex_count(), 0);
+  for (int pass = 0; pass < passes; ++pass) {
+    timing.compute(r);
+    bool violated = false;
+    // Candidate moves: violated movable vertices.
+    for (VertexId v = 0; v < g_->vertex_count(); ++v) {
+      const bool over = timing.arrival(v) > budget + 1e-9;
+      violated |= over;
+      moves[v] = over && g_->movable(v);
+    }
+    if (!violated) return r;
+    // Backward-retiming v removes a register from every out-edge, so a
+    // register-free out-edge is only safe if its head moves too. Demote
+    // candidates until that closure holds (upstream increments may still
+    // relieve the demoted vertices on a later pass).
+    bool changed = true;
+    while (changed) {
+      changed = false;
+      for (VertexId v = 0; v < g_->vertex_count(); ++v) {
+        if (!moves[v]) continue;
+        for (EdgeId eid : g_->out_edges(v)) {
+          if (g_->wr(eid, r) == 0 && !moves[g_->edge(eid).to]) {
+            moves[v] = 0;
+            changed = true;
+            break;
+          }
+        }
+      }
+    }
+    bool any = false;
+    for (VertexId v = 0; v < g_->vertex_count(); ++v) {
+      if (!moves[v]) continue;
+      ++r[v];
+      any = true;
+    }
+    if (!any) return std::nullopt;
+  }
+  return std::nullopt;
+}
+
+MinPeriodRetimer::Result MinPeriodRetimer::minimize() const {
+  // Upper bound: the unretimed critical path (r = 0 always achieves it).
+  GraphTiming timing(*g_, TimingParams{0.0, opt_.setup, 0.0});
+  const Retiming zero = g_->zero_retiming();
+  timing.compute(zero);
+  double hi = opt_.setup;
+  double lo = 0.0;
+  for (VertexId v = 0; v < g_->vertex_count(); ++v) {
+    hi = std::max(hi, timing.arrival(v) + opt_.setup);
+    lo = std::max(lo, g_->vertex(v).delay + opt_.setup);
+  }
+  Result best{hi, zero};
+  if (auto r = retime_for_period(hi, zero)) best.r = std::move(*r);
+  while (hi - lo > opt_.tolerance) {
+    const double mid = 0.5 * (lo + hi);
+    if (auto r = retime_for_period(mid, zero)) {
+      hi = mid;
+      best = Result{mid, std::move(*r)};
+    } else {
+      lo = mid;
+    }
+  }
+  return best;
+}
+
+}  // namespace serelin

@@ -1,0 +1,51 @@
+// Minimum-period retiming via the classical FEAS iteration (Leiserson–Saxe;
+// the paper's initialization uses the efficient equivalents [23,24]).
+//
+// For a target period φ, FEAS repeatedly computes arrival times over the
+// current w_r = 0 DAG and increments r(v) on every movable vertex whose
+// arrival exceeds φ − Ts (pulling a register in front of it). If the
+// violations vanish within the pass budget the retiming is feasible for φ;
+// a persistent violation on a boundary vertex (a primary-input-to-register
+// or register-to-primary-output path that cannot legally be cut) or budget
+// exhaustion reports infeasibility. minimize() binary-searches φ between
+// the largest gate delay and the unretimed critical path.
+#pragma once
+
+#include <optional>
+
+#include "rgraph/retiming_graph.hpp"
+#include "timing/params.hpp"
+
+namespace serelin {
+
+class MinPeriodRetimer {
+ public:
+  struct Options {
+    double setup = 0.0;
+    /// FEAS pass budget; 0 means |V| (the exact bound, which can be slow on
+    /// very large graphs — the experiment harness uses a smaller budget).
+    int max_passes = 0;
+    /// Binary-search resolution on the period.
+    double tolerance = 1e-3;
+  };
+
+  MinPeriodRetimer(const RetimingGraph& g, Options options);
+
+  /// Retiming achieving period φ from `start`, or nullopt if FEAS fails.
+  std::optional<Retiming> retime_for_period(double phi,
+                                            const Retiming& start) const;
+
+  struct Result {
+    double period = 0.0;  ///< smallest feasible period found
+    Retiming r;           ///< a retiming achieving it
+  };
+
+  /// Minimal-period retiming (within tolerance).
+  Result minimize() const;
+
+ private:
+  const RetimingGraph* g_;
+  Options opt_;
+};
+
+}  // namespace serelin

@@ -1,0 +1,51 @@
+#include "core/objective.hpp"
+
+#include <cmath>
+
+#include "support/check.hpp"
+
+namespace serelin {
+
+ObsGains compute_gains(const RetimingGraph& g,
+                       const std::vector<double>& node_obs, int patterns,
+                       double area_weight) {
+  SERELIN_REQUIRE(node_obs.size() == g.netlist().node_count(),
+                  "node_obs must be indexed by NodeId");
+  SERELIN_REQUIRE(patterns > 0, "pattern count must be positive");
+  ObsGains out;
+  out.patterns = patterns;
+  out.vertex_obs.assign(g.vertex_count(), 0);
+  for (VertexId v = 0; v < g.vertex_count(); ++v) {
+    const RVertex& vx = g.vertex(v);
+    if (vx.kind == VertexKind::kSink) continue;
+    const double o = node_obs[vx.node];
+    SERELIN_REQUIRE(o >= -1e-9 && o <= 1.0 + 1e-9,
+                    "observability must lie in [0,1]");
+    out.vertex_obs[v] = std::llround(o * patterns);
+  }
+  out.gain.assign(g.vertex_count(), 0);
+  for (VertexId v = 0; v < g.vertex_count(); ++v) {
+    if (!g.movable(v)) continue;
+    std::int64_t b = 0;
+    for (EdgeId e : g.in_edges(v)) b += out.vertex_obs[g.edge(e).from];
+    b -= static_cast<std::int64_t>(g.out_edges(v).size()) * out.vertex_obs[v];
+    if (area_weight != 0.0) {
+      const auto indeg = static_cast<std::int64_t>(g.in_edges(v).size());
+      const auto outdeg = static_cast<std::int64_t>(g.out_edges(v).size());
+      b += std::llround(area_weight * patterns) * (indeg - outdeg);
+    }
+    out.gain[v] = b;
+  }
+  return out;
+}
+
+std::int64_t register_observability(const RetimingGraph& g, const Retiming& r,
+                                    const ObsGains& gains) {
+  std::int64_t total = 0;
+  for (EdgeId e = 0; e < g.edge_count(); ++e)
+    total += gains.vertex_obs[g.edge(e).from] *
+             static_cast<std::int64_t>(g.wr(e, r));
+  return total;
+}
+
+}  // namespace serelin

@@ -1,0 +1,58 @@
+// The register-observability objective of the paper (Eq. 5) and the
+// per-vertex gains b(v) that drive the MinObs / MinObsWin solvers.
+//
+// A register sitting on edge (u,v) stores the signal of its driver u, so
+// its observability is obs(u), and the circuit's total register
+// observability under retiming r is
+//     Obs(r) = Σ_{(u,v) ∈ E} obs(u) · w_r(u,v).                    (Eq. 5)
+// Substituting w_r = w + r(v) − r(u) and differentiating with respect to a
+// unit *decrease* of r(v) (a forward move of registers across v):
+//     b(v) = K · ( Σ_{(u,v) ∈ E} obs(u)  −  outdeg(v) · obs(v) ),
+// i.e. the in-register observabilities disappear and outdeg(v) registers of
+// observability obs(v) appear. (The paper prints obs(x) of the fanout head
+// in the second term; a register on (v,x) is driven by v, so the
+// derivative-consistent coefficient is obs(v) — unit-tested against the
+// finite difference of Eq. 5.) The K scaling (number of simulation
+// patterns) makes every gain an exact integer.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "rgraph/retiming_graph.hpp"
+
+namespace serelin {
+
+struct ObsGains {
+  /// Observability of each vertex's output signal, K-scaled to an integer
+  /// count of observed patterns (0..K). Sinks carry 0 (no register ever
+  /// "sits at" a sink's output).
+  std::vector<std::int64_t> vertex_obs;
+
+  /// b(v): K-scaled gain of one forward move across v. Boundary vertices
+  /// carry 0 (they never move).
+  std::vector<std::int64_t> gain;
+
+  /// K — the pattern count used for scaling.
+  int patterns = 0;
+};
+
+/// Builds gains from per-node observabilities (NodeId-indexed, as produced
+/// by ObservabilityAnalyzer on the graph's netlist).
+///
+/// `area_weight` enables the paper's §VII extension: the objective is
+/// augmented with an area term, rewarding moves that reduce the number of
+/// register positions. A unit forward move across v removes indeg(v) and
+/// creates outdeg(v) edge registers, so the per-move area gain is
+/// K·area_weight·(indeg(v) − outdeg(v)); area_weight is the relative value
+/// of one register position on the observability scale (0 disables, the
+/// algorithm itself is unchanged — exactly the paper's remark).
+ObsGains compute_gains(const RetimingGraph& g,
+                       const std::vector<double>& node_obs, int patterns,
+                       double area_weight = 0.0);
+
+/// K-scaled total register observability Σ obs(u)·w_r(u,v) (Eq. 5).
+std::int64_t register_observability(const RetimingGraph& g, const Retiming& r,
+                                    const ObsGains& gains);
+
+}  // namespace serelin

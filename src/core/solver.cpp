@@ -1,0 +1,125 @@
+#include "core/solver.hpp"
+
+#include <string>
+#include <vector>
+
+#include "core/regular_forest.hpp"
+#include "support/check.hpp"
+#include "timing/constraints.hpp"
+#include "timing/graph_timing.hpp"
+
+namespace serelin {
+
+MinObsWinSolver::MinObsWinSolver(const RetimingGraph& g, const ObsGains& gains,
+                                 SolverOptions options)
+    : g_(&g), gains_(&gains), opt_(options) {
+  SERELIN_REQUIRE(gains.gain.size() == g.vertex_count(),
+                  "gains must be indexed by VertexId");
+}
+
+/// One run of the Algorithm-1 loop with a fresh forest. Returns the number
+/// of commits made (r, gain and iteration counters accumulate in `out`).
+int MinObsWinSolver::run_pass(const ConstraintChecker& checker,
+                              GraphTiming& timing, SolverResult& out) const {
+  std::vector<char> movable(g_->vertex_count());
+  for (VertexId v = 0; v < g_->vertex_count(); ++v)
+    movable[v] = g_->movable(v);
+  RegularForest forest(gains_->gain, movable);
+
+  const std::int64_t cap =
+      opt_.max_iterations > 0
+          ? opt_.max_iterations
+          : 4096 + 64 * static_cast<std::int64_t>(g_->vertex_count());
+  const std::size_t batch = std::max<std::size_t>(1, opt_.violation_batch);
+
+  int commits = 0;
+  std::vector<char> movers(g_->vertex_count(), 0);
+  std::string trail;  // recent violations, reported on budget exhaustion
+  for (;;) {
+    const std::vector<VertexId> candidate = forest.positive_set();
+    if (candidate.empty()) break;  // no improving closed set remains
+    SERELIN_ASSERT(out.iterations < cap,
+                   "MinObsWin iteration budget exhausted (livelock?); "
+                   "recent constraints: " +
+                       trail);
+    ++out.iterations;
+
+    // Tentative move: r(v) -= w(v) for the whole positive set.
+    for (VertexId v : candidate) {
+      out.r[v] -= forest.weight(v);
+      movers[v] = 1;
+    }
+    timing.compute(out.r);
+    // A batch of violations per timing pass: each tentative move typically
+    // breaks many constraints, and a full recomputation per constraint
+    // would dominate the run time on large graphs.
+    const auto viols = checker.find_violations(out.r, timing, movers, batch);
+
+    if (viols.empty()) {
+      // Feasible: commit. The positive set has positive weighted gain by
+      // construction, so the objective strictly improves.
+      for (VertexId v : candidate) {
+        out.objective_gain += forest.gain(v) * forest.weight(v);
+        movers[v] = 0;
+      }
+      ++commits;
+      ++out.commits;
+      continue;
+    }
+
+    // Record which q's moved before reverting, then fold every active
+    // constraint into the forest. Later entries may be staled by earlier
+    // ones (their p cancelled); those are skipped.
+    std::vector<char> q_moved(viols.size());
+    for (std::size_t i = 0; i < viols.size(); ++i)
+      q_moved[i] = movers[viols[i].q];
+    for (VertexId v : candidate) {
+      out.r[v] += forest.weight(v);
+      movers[v] = 0;
+    }
+    for (std::size_t i = 0; i < viols.size(); ++i) {
+      const Violation& viol = viols[i];
+      if (i > 0 && !forest.in_positive_tree(viol.p)) continue;  // stale
+      const std::int32_t needed =
+          viol.w + (q_moved[i] ? forest.weight(viol.q) : 0);
+      if (out.iterations + 64 >= cap && i == 0) {
+        trail += " [" + std::to_string(static_cast<int>(viol.kind)) + ":p" +
+                 std::to_string(viol.p) + ",q" + std::to_string(viol.q) +
+                 ",w" + std::to_string(needed) + "]";
+      }
+      forest.add_constraint(viol.p, viol.q, needed);
+    }
+  }
+  return commits;
+}
+
+SolverResult MinObsWinSolver::solve(const Retiming& initial) const {
+  SERELIN_REQUIRE(g_->valid(initial), "initial retiming must be valid");
+  const double rmin = opt_.enforce_elw ? opt_.rmin : 0.0;
+  ConstraintChecker checker(*g_, opt_.timing, rmin);
+  GraphTiming timing(*g_, opt_.timing);
+
+  SolverResult out;
+  out.r = initial;
+
+  // The incremental scheme requires a feasible start (Section V provides
+  // one); when even the start violates P2' unfixably, the paper's
+  // behaviour is to return it unchanged (the b18/b19 rows of Table I).
+  timing.compute(out.r);
+  if (checker.find_violation(out.r, timing)) {
+    out.exited_early = true;
+    return out;
+  }
+
+  // Algorithm 1 until its forest converges, then restart with a fresh
+  // forest: accumulated constraints (in particular blocking links to
+  // boundary vertices and cut-stale edges) are conservative, and a later
+  // circuit state can unlock moves an earlier constraint froze. Passes
+  // repeat while they commit; each commit strictly improves the bounded
+  // objective, so the restart loop terminates.
+  while (run_pass(checker, timing, out) > 0) {
+  }
+  return out;
+}
+
+}  // namespace serelin

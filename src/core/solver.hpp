@@ -1,0 +1,77 @@
+// MinObsWin — the paper's Algorithm 1: minimum register-observability
+// retiming under error-latching-window constraints, driven by the weighted
+// regular forest.
+//
+// The solver iterates:
+//   1. I = V_P(F), the positive set of the forest. Empty I means no
+//      improving feasible move exists: the current retiming is returned.
+//   2. Tentatively decrease r(v) by w(v) for every v in I.
+//   3. Search for a violation of P0 / P1' / P2' whose dependency source p
+//      lies in I (the mover that caused it). If one exists, revert the
+//      tentative move and fold the paper's active constraint (p, q, w)
+//      into the forest: q must move with p, with weight w on top of
+//      whatever q already moved (BreakTree + weight update when q's
+//      previously assumed weight was wrong, blocking when q is a boundary
+//      vertex). Loop to 1.
+//   4. No violation: commit the move (one paper-iteration "#J") and loop.
+//
+// Every committed retiming is feasible and strictly improves the K-scaled
+// objective Σ b(v)·Δ(v); the objective is bounded, so commits are finite;
+// between commits the forest monotonically consumes constraint events, with
+// a safety budget that throws AssertionError on livelock (never observed in
+// the test suite; the property tests compare results against the
+// independent ClosureSolver and the exhaustive reference).
+//
+// With `enforce_elw = false` the P2' machinery is disabled — exactly the
+// paper's "Efficient MinObs" baseline (Algorithm 1 with lines 9-12 and
+// 19-21 commented out), which solves the problem of [17] with the
+// efficiency of [20].
+#pragma once
+
+#include <cstdint>
+
+#include "core/objective.hpp"
+#include "rgraph/retiming_graph.hpp"
+#include "timing/params.hpp"
+
+namespace serelin {
+
+struct SolverOptions {
+  TimingParams timing;
+  double rmin = 0.0;       ///< R_min for P2' (ignored if !enforce_elw)
+  bool enforce_elw = true;  ///< false => Efficient MinObs baseline
+  /// Inner-iteration safety budget; 0 = auto (quadratic in |V|).
+  std::int64_t max_iterations = 0;
+  /// Active constraints folded into the forest per timing pass. Batching
+  /// amortizes the O(|V|+|E|) label recomputation; 1 reproduces the
+  /// strictly sequential Algorithm-1 schedule.
+  std::size_t violation_batch = 256;
+};
+
+struct SolverResult {
+  Retiming r;                    ///< final (feasible) retiming
+  int commits = 0;               ///< the paper's iteration count #J
+  std::int64_t iterations = 0;   ///< inner loop iterations
+  std::int64_t objective_gain = 0;  ///< K-scaled drop of Eq. (5)
+  bool exited_early = false;  ///< initial retiming already infeasible; it
+                              ///< was returned unchanged (paper's b18/b19)
+};
+
+class MinObsWinSolver {
+ public:
+  MinObsWinSolver(const RetimingGraph& g, const ObsGains& gains,
+                  SolverOptions options);
+
+  /// Runs Algorithm 1 from the (feasible) initial retiming.
+  SolverResult solve(const Retiming& initial) const;
+
+ private:
+  int run_pass(const class ConstraintChecker& checker,
+               class GraphTiming& timing, SolverResult& out) const;
+
+  const RetimingGraph* g_;
+  const ObsGains* gains_;
+  SolverOptions opt_;
+};
+
+}  // namespace serelin

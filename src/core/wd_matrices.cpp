@@ -1,0 +1,172 @@
+#include "core/wd_matrices.hpp"
+
+#include <algorithm>
+#include <queue>
+
+#include "support/check.hpp"
+
+namespace serelin {
+
+WdMatrices::WdMatrices(const RetimingGraph& g) : n_(g.vertex_count()) {
+  w_.assign(n_ * n_, kUnreachable);
+  d_.assign(n_ * n_, 0.0);
+
+  // Reusable per-source scratch.
+  std::vector<std::int32_t> wrow(n_);
+  std::vector<double> drow(n_);
+  std::vector<std::uint32_t> tight_pending(n_);
+  std::vector<VertexId> order;
+  order.reserve(n_);
+  using Item = std::pair<std::int32_t, VertexId>;
+  std::priority_queue<Item, std::vector<Item>, std::greater<>> heap;
+
+  for (VertexId s = 0; s < n_; ++s) {
+    // Dijkstra on register counts from s.
+    std::fill(wrow.begin(), wrow.end(), kUnreachable);
+    wrow[s] = 0;
+    heap.emplace(0, s);
+    while (!heap.empty()) {
+      const auto [wu, u] = heap.top();
+      heap.pop();
+      if (wu != wrow[u]) continue;
+      for (EdgeId eid : g.out_edges(u)) {
+        const REdge& e = g.edge(eid);
+        const std::int32_t cand = wu + e.w;
+        if (cand < wrow[e.to]) {
+          wrow[e.to] = cand;
+          heap.emplace(cand, e.to);
+        }
+      }
+    }
+
+    // Longest total delay over register-minimal paths: DP in topological
+    // order of the tight-edge DAG (tight = the edge lies on some
+    // register-minimal path; a tight cycle would be a register-free cycle,
+    // which legal graphs exclude).
+    auto tight = [&](const REdge& e) {
+      return wrow[e.from] != kUnreachable && wrow[e.to] == wrow[e.from] + e.w;
+    };
+    std::fill(tight_pending.begin(), tight_pending.end(), 0);
+    for (EdgeId eid = 0; eid < g.edge_count(); ++eid)
+      if (tight(g.edge(eid))) ++tight_pending[g.edge(eid).to];
+    order.clear();
+    for (VertexId v = 0; v < n_; ++v)
+      if (wrow[v] != kUnreachable && tight_pending[v] == 0) order.push_back(v);
+    std::fill(drow.begin(), drow.end(), 0.0);
+    drow[s] = g.vertex(s).delay;
+    for (std::size_t head = 0; head < order.size(); ++head) {
+      const VertexId u = order[head];
+      for (EdgeId eid : g.out_edges(u)) {
+        const REdge& e = g.edge(eid);
+        if (!tight(e)) continue;
+        drow[e.to] =
+            std::max(drow[e.to], drow[u] + g.vertex(e.to).delay);
+        if (--tight_pending[e.to] == 0) order.push_back(e.to);
+      }
+    }
+
+    std::copy(wrow.begin(), wrow.end(), w_.begin() + static_cast<std::ptrdiff_t>(s * n_));
+    std::copy(drow.begin(), drow.end(), d_.begin() + static_cast<std::ptrdiff_t>(s * n_));
+  }
+}
+
+std::vector<double> WdMatrices::candidate_periods() const {
+  std::vector<double> out;
+  out.reserve(n_ * 4);
+  for (std::size_t i = 0; i < w_.size(); ++i)
+    if (w_[i] != kUnreachable) out.push_back(d_[i]);
+  std::sort(out.begin(), out.end());
+  out.erase(std::unique(out.begin(), out.end()), out.end());
+  return out;
+}
+
+namespace {
+
+struct ConstraintEdge {
+  VertexId from;  // constraint r(to) − r(from) ≤ cost maps to from → to
+  VertexId to;
+  std::int64_t cost;
+};
+
+}  // namespace
+
+std::optional<Retiming> wd_retime_for_period(const RetimingGraph& g,
+                                             const WdMatrices& wd,
+                                             double phi, double setup) {
+  const std::size_t n = g.vertex_count();
+  SERELIN_REQUIRE(wd.size() == n, "W/D matrices do not match the graph");
+  const double budget = phi - setup;
+
+  // Difference constraints r(u) − r(v) ≤ c become edges v → u of weight c
+  // in the shortest-path encoding. Bellman–Ford starts from all-zero
+  // distances (an implicit super-source, which cannot lie on a cycle), so
+  // no blanket root→v edges are needed — they would wrongly cap every
+  // label at the root's, excluding the positive labels backward moves
+  // need. A virtual root (index n) only *pins* the boundary labels
+  // together; the final labels are normalized against it.
+  std::vector<ConstraintEdge> edges;
+  edges.reserve(g.edge_count() + 4 * n);
+  const VertexId root = static_cast<VertexId>(n);
+  for (VertexId v = 0; v < n; ++v) {
+    if (!g.movable(v)) {
+      edges.push_back({root, v, 0});
+      edges.push_back({v, root, 0});
+    }
+  }
+  for (EdgeId eid = 0; eid < g.edge_count(); ++eid) {
+    const REdge& e = g.edge(eid);
+    edges.push_back({e.to, e.from, e.w});  // P0: r(u) − r(v) ≤ w(e)
+  }
+  for (VertexId u = 0; u < n; ++u) {
+    for (VertexId v = 0; v < n; ++v) {
+      if (wd.w(u, v) == WdMatrices::kUnreachable) continue;
+      if (wd.d(u, v) <= budget + 1e-9) continue;
+      edges.push_back({v, u, wd.w(u, v) - 1});  // P1 pair constraint
+    }
+  }
+
+  // Bellman–Ford; a negative cycle means the period is infeasible.
+  std::vector<std::int64_t> dist(n + 1, 0);
+  bool changed = true;
+  for (std::size_t round = 0; round <= n + 1 && changed; ++round) {
+    changed = false;
+    for (const ConstraintEdge& e : edges) {
+      if (dist[e.from] + e.cost < dist[e.to]) {
+        dist[e.to] = dist[e.from] + e.cost;
+        changed = true;
+      }
+    }
+  }
+  if (changed) return std::nullopt;  // still relaxing: negative cycle
+
+  Retiming r(n, 0);
+  for (VertexId v = 0; v < n; ++v)
+    r[v] = static_cast<std::int32_t>(dist[v] - dist[root]);
+  SERELIN_ASSERT(g.valid(r), "W/D feasibility produced an invalid retiming");
+  return r;
+}
+
+WdMinPeriodResult wd_min_period(const RetimingGraph& g, const WdMatrices& wd,
+                                double setup) {
+  const std::vector<double> budgets = wd.candidate_periods();
+  SERELIN_REQUIRE(!budgets.empty(), "graph without paths");
+  // Binary search the smallest feasible candidate (feasibility is monotone
+  // in the period).
+  std::size_t lo = 0, hi = budgets.size() - 1;
+  SERELIN_REQUIRE(
+      wd_retime_for_period(g, wd, budgets[hi] + setup, setup).has_value(),
+      "even the critical path period is infeasible");
+  while (lo < hi) {
+    const std::size_t mid = (lo + hi) / 2;
+    if (wd_retime_for_period(g, wd, budgets[mid] + setup, setup))
+      hi = mid;
+    else
+      lo = mid + 1;
+  }
+  WdMinPeriodResult out;
+  out.period = budgets[lo] + setup;
+  out.r = *wd_retime_for_period(g, wd, out.period, setup);
+  return out;
+}
+
+}  // namespace serelin

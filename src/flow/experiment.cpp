@@ -1,0 +1,88 @@
+#include "flow/experiment.hpp"
+
+#include <cmath>
+
+#include "rgraph/apply.hpp"
+#include "sim/observability.hpp"
+#include "support/check.hpp"
+#include "support/stopwatch.hpp"
+
+namespace serelin {
+
+namespace {
+
+AlgoOutcome run_one(const RetimingGraph& g, const ObsGains& gains,
+                    const SolverOptions& options, const Retiming& initial,
+                    const CellLibrary& lib, const FlowConfig& config,
+                    std::int64_t original_ffs, double original_ser) {
+  AlgoOutcome out;
+  Stopwatch watch;
+  MinObsWinSolver solver(g, gains, options);
+  out.solver = solver.solve(initial);
+  out.seconds = watch.seconds();
+
+  out.ffs = g.shared_register_count(out.solver.r);
+  out.dff_change = original_ffs > 0
+                       ? static_cast<double>(out.ffs - original_ffs) /
+                             static_cast<double>(original_ffs)
+                       : 0.0;
+  if (config.reanalyze_ser) {
+    const Netlist retimed =
+        apply_retiming(g, out.solver.r, g.netlist().name() + "_rt");
+    SerOptions ser;
+    ser.timing = options.timing;
+    ser.sim = config.sim;
+    out.ser = analyze_ser(retimed, lib, ser).total;
+    out.dser = original_ser > 0 ? (out.ser - original_ser) / original_ser
+                                : 0.0;
+  }
+  return out;
+}
+
+}  // namespace
+
+ExperimentRow run_experiment(const Netlist& nl, const CellLibrary& lib,
+                             const FlowConfig& config) {
+  SERELIN_REQUIRE(nl.finalized(), "run_experiment needs a finalized netlist");
+  ExperimentRow row;
+  row.name = nl.name();
+
+  RetimingGraph g(nl, lib);
+  row.vertices = g.gate_vertices().size();
+  row.edges = g.edge_count();
+  row.ffs = static_cast<std::int64_t>(nl.dff_count());
+
+  const InitResult init = initialize_retiming(g, config.init);
+  row.phi = init.timing.period;
+  row.setup_hold_ok = init.setup_hold_ok;
+  row.rmin = std::isnan(config.rmin_override) ? init.rmin
+                                              : config.rmin_override;
+
+  Stopwatch analysis_watch;
+  ObservabilityAnalyzer obs_engine(nl, config.sim);
+  const ObsResult obs = obs_engine.run();
+  const ObsGains gains =
+      compute_gains(g, obs.obs, config.sim.patterns, config.area_weight);
+  if (config.reanalyze_ser) {
+    SerOptions ser;
+    ser.timing = init.timing;
+    ser.sim = config.sim;
+    row.ser_original = analyze_ser(nl, lib, ser).total;
+  }
+  row.analysis_seconds = analysis_watch.seconds();
+
+  SolverOptions options;
+  options.timing = init.timing;
+  options.rmin = row.rmin;
+  options.enforce_elw = true;
+  row.minobswin = run_one(g, gains, options, init.r, lib, config, row.ffs,
+                          row.ser_original);
+  if (config.run_minobs) {
+    options.enforce_elw = false;
+    row.minobs = run_one(g, gains, options, init.r, lib, config, row.ffs,
+                         row.ser_original);
+  }
+  return row;
+}
+
+}  // namespace serelin

@@ -1,0 +1,21 @@
+// Hand-built circuits reproducing the paper's worked examples (Figs. 1-3),
+// shared by the test suite and the figure benches.
+#pragma once
+
+#include "netlist/netlist.hpp"
+
+namespace serelin {
+
+/// The Fig. 1 structure, scaled so the effect is unambiguous: a branching
+/// ladder a1..aN — each rung latched directly (s_i) and tapped through an
+/// XOR (t_i) so the rungs stay fully observable — feeds F; F branches to
+/// an observable path H and into register fd on edge (F, G); G also
+/// consumes the registered mask dm, and G's output is masked by J before
+/// the PO. Moving the registers forward across G lowers register
+/// observability (obs(G) < obs(F) + obs(m_j)) yet enlarges every ladder
+/// ELW — the paper's "lower observability, worse SER" example.
+///
+/// Key signals: "F", "G", "J", "H", rungs "a<i>"/"s<i>"/"t<i>".
+Netlist fig1_circuit(int ladder = 10);
+
+}  // namespace serelin

@@ -1,0 +1,45 @@
+// The 21-circuit benchmark suite of the paper's Table I.
+//
+// The paper evaluates on ISCAS89 and ITC99 netlists "obtained from the
+// authors of [20]" (including their `_opt` preprocessed variants), which
+// are not redistributable here. Each suite entry records the paper's
+// published statistics — retiming-graph |V|, |E|, flip-flop count #FF, the
+// clock constraint Φ, the original-circuit SER, and the SER improvements of
+// both algorithms — and generate_suite_circuit() synthesizes a random
+// circuit matching |V|, |E| and #FF (the only inputs the algorithms see,
+// besides the logic functions used for simulation). The Table-I harness
+// prints our measured columns next to these published ones.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "gen/random_circuit.hpp"
+#include "netlist/netlist.hpp"
+
+namespace serelin {
+
+struct SuiteCircuit {
+  std::string name;
+  int vertices = 0;  ///< paper's |V| (combinational gates)
+  int edges = 0;     ///< paper's |E|
+  int dffs = 0;      ///< paper's #FF
+  // Published results, for side-by-side comparison in the harness output:
+  double paper_phi = 0.0;       ///< Φ column
+  double paper_ser = 0.0;       ///< original-circuit SER column
+  double paper_dser_ref = 0.0;  ///< ΔSER of Efficient MinObs (fraction)
+  double paper_dser_new = 0.0;  ///< ΔSER of MinObsWin (fraction)
+};
+
+/// All 21 rows of Table I, in the paper's order.
+const std::vector<SuiteCircuit>& paper_suite();
+
+/// Looks up a row by name; throws PreconditionError if absent.
+const SuiteCircuit& suite_circuit(const std::string& name);
+
+/// Synthesizes the stand-in netlist for a suite row. The generator spec is
+/// derived from the row statistics; `seed` defaults to a name hash so each
+/// circuit is distinct but reproducible.
+Netlist generate_suite_circuit(const SuiteCircuit& row, std::uint64_t seed = 0);
+
+}  // namespace serelin

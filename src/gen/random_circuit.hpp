@@ -1,0 +1,53 @@
+// Seeded random sequential-circuit generation.
+//
+// The generator produces structurally legal netlists (every combinational
+// cycle crosses a flip-flop, every flip-flop is driven and consumed, no
+// dangling gates) with controllable size statistics: gate count, flip-flop
+// count, mean gate fanin (which controls the retiming-graph edge count),
+// and a locality bias that controls combinational depth. It substitutes
+// for the ISCAS89/ITC99 netlists of the paper's Table I, whose |V|, |E|
+// and #FF statistics the paper-suite specs in paper_suite.hpp match.
+#pragma once
+
+#include <cstdint>
+
+#include "netlist/netlist.hpp"
+
+namespace serelin {
+
+struct RandomCircuitSpec {
+  std::string name = "rand";
+  int gates = 100;    ///< combinational gate count (retiming-graph |V|)
+  int dffs = 20;      ///< flip-flop count (#FF)
+  int inputs = 8;
+  int outputs = 8;
+  /// Mean gate fanin; 1.0..3.0. Together with `gates` this sets the
+  /// retiming-graph edge count |E| ≈ mean_fanin · gates.
+  double mean_fanin = 2.0;
+  /// Probability that a fanin is drawn from the most recent `window`
+  /// gates instead of uniformly — higher values give deeper logic.
+  double locality = 0.7;
+  int window = 48;
+  /// Probability that a flip-flop's D input is a lower-indexed flip-flop
+  /// (builds shift-register chains; never creates register-only cycles).
+  double dff_chain_prob = 0.1;
+  /// Share of XOR/XNOR among multi-input gates. Parity gates never mask a
+  /// flip, so this knob controls how fast observability attenuates with
+  /// logic depth (real netlists keep most signals observable through
+  /// reconvergence; a pure AND/OR mix would not).
+  double xor_share = 0.25;
+  /// Probability that a local (chain) fanin is taken through a pipeline
+  /// flip-flop inserted inline (consuming one of the budgeted `dffs`).
+  /// This is what keeps long logic chains register-crossed, like real
+  /// pipelined datapaths — without it the minimum clock period degenerates
+  /// to the full chain depth, since registers can never cut a path they
+  /// do not lie on.
+  double pipeline_prob = 0.35;
+  std::uint64_t seed = 1;
+};
+
+/// Generates a finalized netlist satisfying the spec. Deterministic in the
+/// spec (including the seed).
+Netlist generate_random_circuit(const RandomCircuitSpec& spec);
+
+}  // namespace serelin

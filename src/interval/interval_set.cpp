@@ -1,0 +1,108 @@
+#include "interval/interval_set.hpp"
+
+#include <algorithm>
+#include <ostream>
+
+#include "support/check.hpp"
+
+namespace serelin {
+
+IntervalSet::IntervalSet(double lo, double hi) {
+  SERELIN_REQUIRE(lo <= hi, "interval needs lo <= hi");
+  parts_.push_back({lo, hi});
+}
+
+IntervalSet::IntervalSet(std::vector<Interval> intervals)
+    : parts_(std::move(intervals)) {
+  for (const auto& iv : parts_)
+    SERELIN_REQUIRE(iv.lo <= iv.hi, "interval needs lo <= hi");
+  normalize();
+}
+
+double IntervalSet::measure() const {
+  double total = 0.0;
+  for (const auto& iv : parts_) total += iv.length();
+  return total;
+}
+
+double IntervalSet::left() const {
+  SERELIN_REQUIRE(!parts_.empty(), "left() of an empty set");
+  return parts_.front().lo;
+}
+
+double IntervalSet::right() const {
+  SERELIN_REQUIRE(!parts_.empty(), "right() of an empty set");
+  return parts_.back().hi;
+}
+
+bool IntervalSet::contains(double x) const {
+  // Binary search for the first interval with hi >= x.
+  auto it = std::lower_bound(
+      parts_.begin(), parts_.end(), x,
+      [](const Interval& iv, double v) { return iv.hi < v; });
+  return it != parts_.end() && it->lo <= x;
+}
+
+void IntervalSet::insert(double lo, double hi) {
+  SERELIN_REQUIRE(lo <= hi, "interval needs lo <= hi");
+  parts_.push_back({lo, hi});
+  normalize();
+}
+
+void IntervalSet::unite(const IntervalSet& other) {
+  parts_.insert(parts_.end(), other.parts_.begin(), other.parts_.end());
+  normalize();
+}
+
+IntervalSet IntervalSet::shifted(double delta) const {
+  IntervalSet out;
+  out.parts_.reserve(parts_.size());
+  for (const auto& iv : parts_) out.parts_.push_back({iv.lo + delta, iv.hi + delta});
+  // Shifting preserves ordering and disjointness; no normalize needed.
+  return out;
+}
+
+IntervalSet IntervalSet::clamped(double lo, double hi) const {
+  SERELIN_REQUIRE(lo <= hi, "clamp window needs lo <= hi");
+  IntervalSet out;
+  for (const auto& iv : parts_) {
+    const double a = std::max(iv.lo, lo);
+    const double b = std::min(iv.hi, hi);
+    if (a <= b) out.parts_.push_back({a, b});
+  }
+  return out;
+}
+
+void IntervalSet::normalize() {
+  if (parts_.size() <= 1) return;
+  std::sort(parts_.begin(), parts_.end(),
+            [](const Interval& a, const Interval& b) {
+              return a.lo < b.lo || (a.lo == b.lo && a.hi < b.hi);
+            });
+  std::vector<Interval> merged;
+  merged.reserve(parts_.size());
+  merged.push_back(parts_.front());
+  for (std::size_t i = 1; i < parts_.size(); ++i) {
+    const Interval& iv = parts_[i];
+    if (iv.lo <= merged.back().hi) {
+      // Overlapping or touching: coalesce.
+      merged.back().hi = std::max(merged.back().hi, iv.hi);
+    } else {
+      merged.push_back(iv);
+    }
+  }
+  parts_ = std::move(merged);
+}
+
+std::ostream& operator<<(std::ostream& os, const IntervalSet& s) {
+  if (s.empty()) return os << "{}";
+  bool first = true;
+  for (const auto& iv : s.parts()) {
+    if (!first) os << " U ";
+    first = false;
+    os << '[' << iv.lo << ',' << iv.hi << ']';
+  }
+  return os;
+}
+
+}  // namespace serelin

@@ -1,0 +1,85 @@
+// IntervalSet: a union of disjoint closed real intervals.
+//
+// This is the carrier type for error-latching windows (ELWs). The paper's
+// Eq. (2) writes the general ELW of a gate as
+//     ELW_l(g) = [L1,R1] ∪ [L2,R2] ∪ ... ∪ [Ll,Rl]
+// and Eq. (3) builds ELWs by backward traversal:
+//     ELW(g) = [Φ−Ts, Φ+Th]                      if g drives a register or PO
+//              ∪_{f ∈ fanout(g)} (ELW(f) − d(f)) otherwise,
+// where "− d(f)" shifts every interval down by the fanout's delay. The size
+// |ELW(g)| = Σ (Ri − Li) enters the SER formula Eq. (4) as |ELW(g)|/Φ.
+//
+// The set is kept sorted and coalesced: intervals are pairwise disjoint with
+// non-touching neighbours, so measure() is exact and iteration order is
+// ascending.
+#pragma once
+
+#include <iosfwd>
+#include <vector>
+
+namespace serelin {
+
+/// One closed interval [lo, hi] with lo <= hi. A degenerate point interval
+/// (lo == hi) is permitted and has measure zero.
+struct Interval {
+  double lo = 0.0;
+  double hi = 0.0;
+
+  double length() const { return hi - lo; }
+  friend bool operator==(const Interval&, const Interval&) = default;
+};
+
+class IntervalSet {
+ public:
+  /// The empty set.
+  IntervalSet() = default;
+
+  /// Singleton set {[lo, hi]}. Requires lo <= hi.
+  IntervalSet(double lo, double hi);
+
+  /// Builds from arbitrary (unsorted, possibly overlapping) intervals.
+  explicit IntervalSet(std::vector<Interval> intervals);
+
+  bool empty() const { return parts_.empty(); }
+
+  /// Number of disjoint intervals ("l" in the paper's ELW_l notation).
+  std::size_t size() const { return parts_.size(); }
+
+  const std::vector<Interval>& parts() const { return parts_; }
+
+  /// Total length Σ (Ri − Li) — the |ELW| of Eq. (4).
+  double measure() const;
+
+  /// Leftmost point L1. Requires non-empty.
+  double left() const;
+
+  /// Rightmost point Rl. Requires non-empty.
+  double right() const;
+
+  /// True iff `x` lies inside some interval (boundaries inclusive).
+  bool contains(double x) const;
+
+  /// Adds [lo, hi], merging with anything it overlaps or touches.
+  void insert(double lo, double hi);
+
+  /// In-place union with another set.
+  void unite(const IntervalSet& other);
+
+  /// Returns the set shifted by `delta` (the paper's "ELW(f) − d(f)" uses
+  /// delta = −d(f)).
+  IntervalSet shifted(double delta) const;
+
+  /// Returns the intersection with [lo, hi].
+  IntervalSet clamped(double lo, double hi) const;
+
+  friend bool operator==(const IntervalSet&, const IntervalSet&) = default;
+
+ private:
+  void normalize();
+
+  std::vector<Interval> parts_;  // sorted, disjoint, non-touching
+};
+
+std::ostream& operator<<(std::ostream& os, const IntervalSet& s);
+
+}  // namespace serelin

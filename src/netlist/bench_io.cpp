@@ -1,0 +1,139 @@
+#include "netlist/bench_io.hpp"
+
+#include <fstream>
+#include <sstream>
+
+#include "netlist/builder.hpp"
+#include "support/check.hpp"
+#include "support/strings.hpp"
+
+namespace serelin {
+
+namespace {
+
+/// Parses "KEYWORD(arg)" or "KEYWORD(a, b, c)"; returns {keyword, args}.
+std::pair<std::string_view, std::vector<std::string_view>> parse_call(
+    std::string_view text, int line_no) {
+  const std::size_t open = text.find('(');
+  const std::size_t close = text.rfind(')');
+  if (open == std::string_view::npos || close == std::string_view::npos ||
+      close < open)
+    throw ParseError(".bench line " + std::to_string(line_no) +
+                     ": expected KEYWORD(args)");
+  const std::string_view keyword = trim(text.substr(0, open));
+  const std::string_view inner = text.substr(open + 1, close - open - 1);
+  std::vector<std::string_view> args;
+  for (std::string_view piece : split(inner, ","))
+    args.push_back(trim(piece));
+  if (keyword.empty())
+    throw ParseError(".bench line " + std::to_string(line_no) +
+                     ": missing keyword before '('");
+  return {keyword, args};
+}
+
+}  // namespace
+
+Netlist read_bench(std::istream& in, std::string circuit_name) {
+  NetlistBuilder builder(circuit_name);
+  std::string raw;
+  int line_no = 0;
+  while (std::getline(in, raw)) {
+    ++line_no;
+    std::string_view line = raw;
+    // Strip comments (both '#' and the occasional '//').
+    if (const auto hash = line.find('#'); hash != std::string_view::npos)
+      line = line.substr(0, hash);
+    if (const auto slashes = line.find("//"); slashes != std::string_view::npos)
+      line = line.substr(0, slashes);
+    line = trim(line);
+    if (line.empty()) continue;
+
+    const std::size_t eq = line.find('=');
+    if (eq == std::string_view::npos) {
+      // Directive form: INPUT(sig) or OUTPUT(sig).
+      auto [keyword, args] = parse_call(line, line_no);
+      const std::string up = to_upper(keyword);
+      if (args.size() != 1)
+        throw ParseError(".bench line " + std::to_string(line_no) + ": " + up +
+                         " takes exactly one signal");
+      if (up == "INPUT") {
+        builder.input(std::string(args[0]));
+      } else if (up == "OUTPUT") {
+        builder.output(std::string(args[0]));
+      } else {
+        throw ParseError(".bench line " + std::to_string(line_no) +
+                         ": unknown directive '" + up + "'");
+      }
+      continue;
+    }
+
+    // Assignment form: sig = GATE(a, b, ...).
+    const std::string out_name{trim(line.substr(0, eq))};
+    if (out_name.empty())
+      throw ParseError(".bench line " + std::to_string(line_no) +
+                       ": missing signal name before '='");
+    auto [keyword, args] = parse_call(line.substr(eq + 1), line_no);
+    const CellType type = parse_cell_type(keyword);
+    if (type == CellType::kInput)
+      throw ParseError(".bench line " + std::to_string(line_no) +
+                       ": INPUT cannot appear on the right of '='");
+    std::vector<std::string> fanins;
+    fanins.reserve(args.size());
+    for (std::string_view a : args) {
+      if (a.empty())
+        throw ParseError(".bench line " + std::to_string(line_no) +
+                         ": empty fanin name");
+      fanins.emplace_back(a);
+    }
+    if (type == CellType::kDff) {
+      if (fanins.size() != 1)
+        throw ParseError(".bench line " + std::to_string(line_no) +
+                         ": DFF takes exactly one fanin");
+      builder.dff(out_name, fanins[0]);
+    } else if (type == CellType::kConst0 || type == CellType::kConst1) {
+      if (!fanins.empty())
+        throw ParseError(".bench line " + std::to_string(line_no) +
+                         ": constants take no fanins");
+      builder.constant(out_name, type == CellType::kConst1);
+    } else {
+      builder.gate(out_name, type, std::move(fanins));
+    }
+  }
+  return builder.build();
+}
+
+Netlist read_bench_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw ParseError("cannot open .bench file: " + path);
+  std::string stem = path;
+  if (const auto slash = stem.find_last_of('/'); slash != std::string::npos)
+    stem = stem.substr(slash + 1);
+  if (const auto dot = stem.find_last_of('.'); dot != std::string::npos)
+    stem = stem.substr(0, dot);
+  return read_bench(in, stem);
+}
+
+void write_bench(std::ostream& out, const Netlist& nl) {
+  SERELIN_REQUIRE(nl.finalized(), "write_bench needs a finalized netlist");
+  out << "# " << nl.name() << " — written by serelin\n";
+  for (NodeId id : nl.inputs()) out << "INPUT(" << nl.node(id).name << ")\n";
+  for (NodeId id : nl.outputs()) out << "OUTPUT(" << nl.node(id).name << ")\n";
+  for (NodeId id = 0; id < nl.node_count(); ++id) {
+    const Node& n = nl.node(id);
+    if (n.type == CellType::kInput) continue;
+    out << n.name << " = " << cell_type_name(n.type) << "(";
+    for (std::size_t i = 0; i < n.fanins.size(); ++i) {
+      if (i) out << ", ";
+      out << nl.node(n.fanins[i]).name;
+    }
+    out << ")\n";
+  }
+}
+
+void write_bench_file(const std::string& path, const Netlist& nl) {
+  std::ofstream out(path);
+  if (!out) throw ParseError("cannot write .bench file: " + path);
+  write_bench(out, nl);
+}
+
+}  // namespace serelin

@@ -1,0 +1,34 @@
+// Reader/writer for the ISCAS89 / ITC99 `.bench` netlist format.
+//
+// Grammar accepted (a superset of the classic format):
+//   # comment
+//   INPUT(sig)
+//   OUTPUT(sig)
+//   sig = GATE(a, b, ...)        GATE in {DFF, BUFF/BUF, NOT, AND, NAND,
+//                                          OR, NOR, XOR, XNOR, CONST0/1}
+// Keywords are case-insensitive; whitespace is free-form; signals may be
+// referenced before definition (feedback). The writer emits canonical form
+// that the reader round-trips exactly.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "netlist/netlist.hpp"
+
+namespace serelin {
+
+/// Parses .bench text. `circuit_name` names the resulting netlist.
+/// Throws ParseError on malformed input.
+Netlist read_bench(std::istream& in, std::string circuit_name = "circuit");
+
+/// Parses a .bench file from disk (name defaults to the file stem).
+Netlist read_bench_file(const std::string& path);
+
+/// Writes canonical .bench text.
+void write_bench(std::ostream& out, const Netlist& nl);
+
+/// Writes a .bench file to disk.
+void write_bench_file(const std::string& path, const Netlist& nl);
+
+}  // namespace serelin

@@ -1,0 +1,314 @@
+#include "netlist/blif_io.hpp"
+
+#include <fstream>
+#include <sstream>
+#include <vector>
+
+#include "netlist/builder.hpp"
+#include "support/check.hpp"
+#include "support/strings.hpp"
+
+namespace serelin {
+
+namespace {
+
+/// One .names block: fanin names, output name, and the on-set/off-set
+/// cover rows (input plane, output bit).
+struct Cover {
+  std::vector<std::string> fanins;
+  std::string output;
+  std::vector<std::pair<std::string, char>> rows;
+  int line_no = 0;
+};
+
+/// Evaluates the cover on one input assignment (bit i of `assignment` is
+/// fanin i). BLIF semantics: the output is the cover value if some row's
+/// input plane matches, else its complement... precisely: rows with output
+/// bit 1 define the on-set, rows with 0 define the off-set; a single
+/// .names block must use one polarity (checked by the caller).
+bool cover_matches_row(const std::string& plane, unsigned assignment) {
+  for (std::size_t i = 0; i < plane.size(); ++i) {
+    const bool bit = (assignment >> i) & 1u;
+    if (plane[i] == '-') continue;
+    if ((plane[i] == '1') != bit) return false;
+  }
+  return true;
+}
+
+bool eval_cover(const Cover& c, unsigned assignment) {
+  bool polarity = true;
+  if (!c.rows.empty()) polarity = c.rows.front().second == '1';
+  for (const auto& [plane, bit] : c.rows)
+    if (cover_matches_row(plane, assignment)) return polarity;
+  return !polarity;
+}
+
+/// Truth table of a candidate cell type on `arity` inputs.
+bool eval_type(CellType t, unsigned assignment, int arity) {
+  std::vector<std::uint64_t> in(static_cast<std::size_t>(arity));
+  for (int i = 0; i < arity; ++i)
+    in[static_cast<std::size_t>(i)] = ((assignment >> i) & 1u) ? ~0ULL : 0ULL;
+  return (eval_cell(t, in) & 1ULL) != 0;
+}
+
+/// Maps a cover to a serelin cell type by exhaustive truth-table match
+/// (arity <= 12). Throws ParseError when the function is none of ours.
+CellType classify_cover(const Cover& c) {
+  const int arity = static_cast<int>(c.fanins.size());
+  SERELIN_REQUIRE(arity <= 12,
+                  "BLIF cover for '" + c.output + "' has fanin " +
+                      std::to_string(arity) + " (classifier limit: 12)");
+  char polarity = c.rows.empty() ? '1' : c.rows.front().second;
+  for (const auto& [plane, bit] : c.rows) {
+    if (static_cast<int>(plane.size()) != arity)
+      throw ParseError("BLIF line " + std::to_string(c.line_no) +
+                       ": cover row arity mismatch for '" + c.output + "'");
+    if (bit != polarity)
+      throw ParseError("BLIF line " + std::to_string(c.line_no) +
+                       ": mixed on-set/off-set cover for '" + c.output + "'");
+    if (bit != '0' && bit != '1')
+      throw ParseError("BLIF line " + std::to_string(c.line_no) +
+                       ": cover output bit must be 0 or 1");
+    for (char ch : plane)
+      if (ch != '0' && ch != '1' && ch != '-')
+        throw ParseError("BLIF line " + std::to_string(c.line_no) +
+                         ": cover plane may contain only 0, 1, -");
+  }
+  static constexpr CellType kCandidates[] = {
+      CellType::kConst0, CellType::kConst1, CellType::kBuf, CellType::kNot,
+      CellType::kAnd,    CellType::kNand,   CellType::kOr,  CellType::kNor,
+      CellType::kXor,    CellType::kXnor};
+  for (CellType t : kCandidates) {
+    if (arity < min_fanins(t) || arity > max_fanins(t)) continue;
+    if (arity == 0 &&
+        !(t == CellType::kConst0 || t == CellType::kConst1))
+      continue;
+    bool match = true;
+    for (unsigned a = 0; a < (1u << arity) && match; ++a)
+      match = eval_cover(c, a) == eval_type(t, a, arity);
+    if (match) return t;
+  }
+  throw ParseError("BLIF line " + std::to_string(c.line_no) +
+                   ": cover for '" + c.output +
+                   "' is not a recognized gate function (serelin is "
+                   "gate-based; run technology mapping first)");
+}
+
+/// Reads logical lines: strips comments, joins '\' continuations.
+std::vector<std::pair<std::string, int>> logical_lines(std::istream& in) {
+  std::vector<std::pair<std::string, int>> out;
+  std::string raw, acc;
+  int line_no = 0, acc_line = 0;
+  while (std::getline(in, raw)) {
+    ++line_no;
+    std::string_view line = raw;
+    if (const auto hash = line.find('#'); hash != std::string_view::npos)
+      line = line.substr(0, hash);
+    bool cont = false;
+    std::string_view trimmed = trim(line);
+    if (!trimmed.empty() && trimmed.back() == '\\') {
+      cont = true;
+      trimmed = trim(trimmed.substr(0, trimmed.size() - 1));
+    }
+    if (acc.empty()) acc_line = line_no;
+    if (!trimmed.empty()) {
+      if (!acc.empty()) acc += ' ';
+      acc += std::string(trimmed);
+    }
+    if (!cont && !acc.empty()) {
+      out.emplace_back(std::move(acc), acc_line);
+      acc.clear();
+    }
+  }
+  if (!acc.empty()) out.emplace_back(std::move(acc), acc_line);
+  return out;
+}
+
+}  // namespace
+
+Netlist read_blif(std::istream& in, std::string fallback_name) {
+  const auto lines = logical_lines(in);
+  std::string model_name = std::move(fallback_name);
+  std::vector<std::string> inputs, outputs;
+  std::vector<std::pair<std::string, std::string>> latches;  // (out, in)
+  std::vector<Cover> covers;
+
+  std::size_t i = 0;
+  bool ended = false;
+  while (i < lines.size() && !ended) {
+    const auto& [text, line_no] = lines[i];
+    const auto tokens = split(text, " \t");
+    SERELIN_ASSERT(!tokens.empty(), "logical lines are non-empty");
+    const std::string head = to_upper(tokens[0]);
+    if (head == ".MODEL") {
+      if (tokens.size() >= 2) model_name = std::string(tokens[1]);
+      ++i;
+    } else if (head == ".INPUTS") {
+      for (std::size_t k = 1; k < tokens.size(); ++k)
+        inputs.emplace_back(tokens[k]);
+      ++i;
+    } else if (head == ".OUTPUTS") {
+      for (std::size_t k = 1; k < tokens.size(); ++k)
+        outputs.emplace_back(tokens[k]);
+      ++i;
+    } else if (head == ".LATCH") {
+      // .latch <input> <output> [<type> <control>] [<init-val>]
+      if (tokens.size() < 3)
+        throw ParseError("BLIF line " + std::to_string(line_no) +
+                         ": .latch needs input and output");
+      latches.emplace_back(std::string(tokens[2]), std::string(tokens[1]));
+      ++i;
+    } else if (head == ".NAMES") {
+      Cover c;
+      c.line_no = line_no;
+      for (std::size_t k = 1; k + 1 < tokens.size(); ++k)
+        c.fanins.emplace_back(tokens[k]);
+      if (tokens.size() < 2)
+        throw ParseError("BLIF line " + std::to_string(line_no) +
+                         ": .names needs an output");
+      c.output = std::string(tokens.back());
+      ++i;
+      while (i < lines.size() && lines[i].first[0] != '.') {
+        const auto row = split(lines[i].first, " \t");
+        if (c.fanins.empty()) {
+          if (row.size() != 1)
+            throw ParseError("BLIF line " + std::to_string(lines[i].second) +
+                             ": constant cover row must be a single bit");
+          c.rows.emplace_back("", row[0][0]);
+        } else {
+          if (row.size() != 2 || row[1].size() != 1)
+            throw ParseError("BLIF line " + std::to_string(lines[i].second) +
+                             ": cover row must be '<plane> <bit>'");
+          c.rows.emplace_back(std::string(row[0]), row[1][0]);
+        }
+        ++i;
+      }
+      covers.push_back(std::move(c));
+    } else if (head == ".END") {
+      ended = true;
+    } else if (head == ".SEARCH" || head == ".CLOCK" ||
+               head == ".DEFAULT_INPUT_ARRIVAL" ||
+               head == ".DEFAULT_OUTPUT_REQUIRED") {
+      ++i;  // tolerated and ignored
+    } else {
+      throw ParseError("BLIF line " + std::to_string(line_no) +
+                       ": unsupported construct '" + std::string(tokens[0]) +
+                       "'");
+    }
+  }
+
+  NetlistBuilder builder(model_name);
+  for (const std::string& s : inputs) builder.input(s);
+  for (const std::string& s : outputs) builder.output(s);
+  for (const auto& [q, d] : latches) builder.dff(q, d);
+  for (const Cover& c : covers) {
+    const CellType t = classify_cover(c);
+    if (t == CellType::kConst0 || t == CellType::kConst1) {
+      builder.constant(c.output, t == CellType::kConst1);
+    } else {
+      builder.gate(c.output, t, c.fanins);
+    }
+  }
+  return builder.build();
+}
+
+Netlist read_blif_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw ParseError("cannot open BLIF file: " + path);
+  std::string stem = path;
+  if (const auto slash = stem.find_last_of('/'); slash != std::string::npos)
+    stem = stem.substr(slash + 1);
+  if (const auto dot = stem.find_last_of('.'); dot != std::string::npos)
+    stem = stem.substr(0, dot);
+  return read_blif(in, stem);
+}
+
+namespace {
+
+void write_cover(std::ostream& out, const Netlist& nl, const Node& n) {
+  out << ".names";
+  for (NodeId f : n.fanins) out << ' ' << nl.node(f).name;
+  out << ' ' << n.name << '\n';
+  const std::size_t arity = n.fanins.size();
+  switch (n.type) {
+    case CellType::kConst0:
+      break;  // empty cover = constant 0
+    case CellType::kConst1:
+      out << "1\n";
+      break;
+    case CellType::kBuf:
+      out << "1 1\n";
+      break;
+    case CellType::kNot:
+      out << "0 1\n";
+      break;
+    case CellType::kAnd:
+      out << std::string(arity, '1') << " 1\n";
+      break;
+    case CellType::kNor:
+      out << std::string(arity, '0') << " 1\n";
+      break;
+    case CellType::kOr:
+      for (std::size_t i = 0; i < arity; ++i) {
+        std::string plane(arity, '-');
+        plane[i] = '1';
+        out << plane << " 1\n";
+      }
+      break;
+    case CellType::kNand:
+      for (std::size_t i = 0; i < arity; ++i) {
+        std::string plane(arity, '-');
+        plane[i] = '0';
+        out << plane << " 1\n";
+      }
+      break;
+    case CellType::kXor:
+    case CellType::kXnor: {
+      SERELIN_REQUIRE(arity <= 16,
+                      "XOR cover too wide for BLIF emission: " + n.name);
+      const bool want_odd = n.type == CellType::kXor;
+      for (unsigned a = 0; a < (1u << arity); ++a) {
+        const bool odd = __builtin_popcount(a) % 2 == 1;
+        if (odd != want_odd) continue;
+        std::string plane(arity, '0');
+        for (std::size_t i = 0; i < arity; ++i)
+          if ((a >> i) & 1u) plane[i] = '1';
+        out << plane << " 1\n";
+      }
+      break;
+    }
+    default:
+      SERELIN_ASSERT(false, "unexpected cell type in BLIF writer");
+  }
+}
+
+}  // namespace
+
+void write_blif(std::ostream& out, const Netlist& nl) {
+  SERELIN_REQUIRE(nl.finalized(), "write_blif needs a finalized netlist");
+  out << ".model " << nl.name() << '\n';
+  out << ".inputs";
+  for (NodeId id : nl.inputs()) out << ' ' << nl.node(id).name;
+  out << "\n.outputs";
+  for (NodeId id : nl.outputs()) out << ' ' << nl.node(id).name;
+  out << '\n';
+  for (NodeId id : nl.dffs()) {
+    const Node& n = nl.node(id);
+    out << ".latch " << nl.node(n.fanins[0]).name << ' ' << n.name
+        << " 0\n";
+  }
+  for (NodeId id = 0; id < nl.node_count(); ++id) {
+    const Node& n = nl.node(id);
+    if (n.type == CellType::kInput || n.type == CellType::kDff) continue;
+    write_cover(out, nl, n);
+  }
+  out << ".end\n";
+}
+
+void write_blif_file(const std::string& path, const Netlist& nl) {
+  std::ofstream out(path);
+  if (!out) throw ParseError("cannot write BLIF file: " + path);
+  write_blif(out, nl);
+}
+
+}  // namespace serelin

@@ -1,0 +1,41 @@
+// Reader/writer for the structural subset of Berkeley BLIF — the other
+// lingua franca of academic logic-synthesis tools (SIS, ABC, VTR).
+//
+// Supported constructs:
+//   .model <name>            (first model only; .search is not followed)
+//   .inputs / .outputs       (continuation lines via '\' supported)
+//   .latch <in> <out> [<type> <ctrl>] [<init>]   -> DFF (init ignored;
+//                                                  .bench carries none)
+//   .names <in...> <out>     single-output cover; recognized covers map to
+//                            serelin cell types:
+//                              constants, BUF, NOT, AND, OR, NAND, NOR,
+//                              XOR, XNOR (any arity)
+//   .end, comments (#), line continuation ('\')
+// Covers that match no recognized function are rejected with a ParseError
+// naming the signal — serelin's SER model is gate-based, so arbitrary LUTs
+// would need a technology-mapping step that is out of scope.
+//
+// The writer emits one .names cover per gate (and .latch per flip-flop),
+// readable by ABC/SIS and by this reader (round-trip tested).
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "netlist/netlist.hpp"
+
+namespace serelin {
+
+/// Parses BLIF text; throws ParseError on malformed or unsupported input.
+Netlist read_blif(std::istream& in, std::string fallback_name = "circuit");
+
+/// Parses a .blif file from disk.
+Netlist read_blif_file(const std::string& path);
+
+/// Writes the netlist as structural BLIF.
+void write_blif(std::ostream& out, const Netlist& nl);
+
+/// Writes a .blif file to disk.
+void write_blif_file(const std::string& path, const Netlist& nl);
+
+}  // namespace serelin

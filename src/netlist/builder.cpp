@@ -1,0 +1,124 @@
+#include "netlist/builder.hpp"
+
+#include <unordered_map>
+
+#include "support/check.hpp"
+
+namespace serelin {
+
+NetlistBuilder::NetlistBuilder(std::string circuit_name)
+    : circuit_name_(std::move(circuit_name)) {}
+
+NetlistBuilder& NetlistBuilder::input(std::string name) {
+  decls_.push_back({std::move(name), CellType::kInput, {}});
+  return *this;
+}
+
+NetlistBuilder& NetlistBuilder::output(std::string name) {
+  output_names_.push_back(std::move(name));
+  return *this;
+}
+
+NetlistBuilder& NetlistBuilder::dff(std::string q, std::string d) {
+  decls_.push_back({std::move(q), CellType::kDff, {std::move(d)}});
+  return *this;
+}
+
+NetlistBuilder& NetlistBuilder::gate(std::string out, CellType type,
+                                     std::vector<std::string> fanins) {
+  SERELIN_REQUIRE(is_gate(type), "gate() needs a combinational type");
+  decls_.push_back({std::move(out), type, std::move(fanins)});
+  return *this;
+}
+
+NetlistBuilder& NetlistBuilder::constant(std::string name, bool value) {
+  decls_.push_back(
+      {std::move(name), value ? CellType::kConst1 : CellType::kConst0, {}});
+  return *this;
+}
+
+Netlist NetlistBuilder::build() {
+  SERELIN_REQUIRE(!built_, "NetlistBuilder::build() called twice");
+  built_ = true;
+
+  std::unordered_map<std::string, std::size_t> decl_index;
+  for (std::size_t i = 0; i < decls_.size(); ++i) {
+    if (!decl_index.emplace(decls_[i].name, i).second)
+      throw ParseError("signal '" + decls_[i].name + "' defined twice");
+  }
+  auto lookup = [&](const std::string& name) -> std::size_t {
+    auto it = decl_index.find(name);
+    if (it == decl_index.end())
+      throw ParseError("signal '" + name + "' referenced but never defined");
+    return it->second;
+  };
+
+  Netlist nl(circuit_name_);
+  std::vector<NodeId> node_of(decls_.size(), kNullNode);
+
+  // Pass 1: sources (inputs, constants) then flip-flops with dangling D.
+  for (std::size_t i = 0; i < decls_.size(); ++i) {
+    const Decl& d = decls_[i];
+    if (d.type == CellType::kInput || d.type == CellType::kConst0 ||
+        d.type == CellType::kConst1)
+      node_of[i] = nl.add_node(d.name, d.type, {});
+  }
+  for (std::size_t i = 0; i < decls_.size(); ++i) {
+    const Decl& d = decls_[i];
+    if (d.type == CellType::kDff)
+      node_of[i] = nl.add_node(d.name, d.type, {kNullNode});
+  }
+
+  // Pass 2: combinational gates in dependency order (DFS over gate->gate
+  // references; sources and DFFs already exist). An explicit stack keeps
+  // deep ISCAS-style chains from overflowing the call stack.
+  enum class Mark : std::uint8_t { kWhite, kGrey, kBlack };
+  std::vector<Mark> mark(decls_.size(), Mark::kWhite);
+  for (std::size_t root = 0; root < decls_.size(); ++root) {
+    if (!is_gate(decls_[root].type) || mark[root] != Mark::kWhite) continue;
+    std::vector<std::pair<std::size_t, std::size_t>> stack;  // (decl, next fanin)
+    stack.emplace_back(root, 0);
+    mark[root] = Mark::kGrey;
+    while (!stack.empty()) {
+      auto& [i, next] = stack.back();
+      const Decl& d = decls_[i];
+      if (next < d.fanins.size()) {
+        const std::size_t dep = lookup(d.fanins[next]);
+        ++next;
+        if (is_gate(decls_[dep].type)) {
+          if (mark[dep] == Mark::kGrey)
+            throw ParseError("combinational cycle through signal '" +
+                             decls_[dep].name + "'");
+          if (mark[dep] == Mark::kWhite) {
+            mark[dep] = Mark::kGrey;
+            stack.emplace_back(dep, 0);
+          }
+        }
+        continue;
+      }
+      // All fanins created: create this gate.
+      std::vector<NodeId> fanin_ids;
+      fanin_ids.reserve(d.fanins.size());
+      for (const std::string& f : d.fanins) {
+        const NodeId fid = node_of[lookup(f)];
+        SERELIN_ASSERT(fid != kNullNode, "dependency order broke");
+        fanin_ids.push_back(fid);
+      }
+      node_of[i] = nl.add_node(d.name, d.type, std::move(fanin_ids));
+      mark[i] = Mark::kBlack;
+      stack.pop_back();
+    }
+  }
+
+  // Pass 3: patch flip-flop D inputs, mark outputs, finalize.
+  for (std::size_t i = 0; i < decls_.size(); ++i) {
+    const Decl& d = decls_[i];
+    if (d.type == CellType::kDff)
+      nl.set_dff_input(node_of[i], node_of[lookup(d.fanins[0])]);
+  }
+  for (const std::string& out : output_names_) nl.mark_output(node_of[lookup(out)]);
+  nl.finalize();
+  return nl;
+}
+
+}  // namespace serelin

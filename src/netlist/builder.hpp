@@ -1,0 +1,54 @@
+// NetlistBuilder: name-based, order-independent netlist construction.
+//
+// .bench files (and tests) reference signals before they are defined —
+// feedback through flip-flops makes that unavoidable. The builder records
+// declarations by name, then build() resolves references, orders node
+// creation legally, patches flip-flop feedback and finalizes the netlist.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "netlist/netlist.hpp"
+
+namespace serelin {
+
+class NetlistBuilder {
+ public:
+  explicit NetlistBuilder(std::string circuit_name = "circuit");
+
+  /// Declares a primary input signal.
+  NetlistBuilder& input(std::string name);
+
+  /// Declares that signal `name` drives a primary output.
+  NetlistBuilder& output(std::string name);
+
+  /// Declares a flip-flop: q = DFF(d).
+  NetlistBuilder& dff(std::string q, std::string d);
+
+  /// Declares a combinational gate: out = type(fanins...).
+  NetlistBuilder& gate(std::string out, CellType type,
+                       std::vector<std::string> fanins);
+
+  /// Declares a constant signal.
+  NetlistBuilder& constant(std::string name, bool value);
+
+  /// Resolves everything and returns the finalized netlist. Throws
+  /// ParseError on undefined signals, redefinitions, or combinational
+  /// cycles. The builder is consumed (one-shot).
+  Netlist build();
+
+ private:
+  struct Decl {
+    std::string name;
+    CellType type;
+    std::vector<std::string> fanins;
+  };
+
+  std::string circuit_name_;
+  std::vector<Decl> decls_;
+  std::vector<std::string> output_names_;
+  bool built_ = false;
+};
+
+}  // namespace serelin

@@ -1,0 +1,36 @@
+#include "netlist/cell_library.hpp"
+
+namespace serelin {
+
+namespace {
+
+std::array<CellParams, kNumCellTypes> default_params() {
+  std::array<CellParams, kNumCellTypes> p{};
+  auto set = [&p](CellType t, double delay, double err, double area) {
+    p[static_cast<std::size_t>(t)] = CellParams{delay, err, area};
+  };
+  // err(g) values are per-cell raw upset rates in arbitrary FIT-like units;
+  // only their relative magnitudes matter to the optimization (see header).
+  set(CellType::kInput,  0.0, 0.0,     0.0);
+  set(CellType::kDff,    0.0, 1.2e-6,  4.0);  // sequential element upset rate
+  set(CellType::kBuf,    1.0, 0.6e-6,  1.0);
+  set(CellType::kNot,    1.0, 0.6e-6,  1.0);
+  set(CellType::kAnd,    2.0, 1.0e-6,  2.0);
+  set(CellType::kNand,   2.0, 0.9e-6,  1.5);
+  set(CellType::kOr,     2.0, 1.0e-6,  2.0);
+  set(CellType::kNor,    2.0, 0.9e-6,  1.5);
+  set(CellType::kXor,    3.0, 1.4e-6,  3.0);
+  set(CellType::kXnor,   3.0, 1.4e-6,  3.0);
+  set(CellType::kConst0, 0.0, 0.0,     0.0);
+  set(CellType::kConst1, 0.0, 0.0,     0.0);
+  return p;
+}
+
+}  // namespace
+
+CellLibrary::CellLibrary() : params_(default_params()) {}
+
+CellLibrary::CellLibrary(std::array<CellParams, kNumCellTypes> params)
+    : params_(params) {}
+
+}  // namespace serelin

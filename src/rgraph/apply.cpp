@@ -1,0 +1,74 @@
+#include "rgraph/apply.hpp"
+
+#include <algorithm>
+
+#include "netlist/builder.hpp"
+#include "support/check.hpp"
+
+namespace serelin {
+
+Netlist apply_retiming(const RetimingGraph& g, const Retiming& r,
+                       std::string circuit_name) {
+  SERELIN_REQUIRE(g.valid(r), "apply_retiming needs a valid retiming");
+  const Netlist& src = g.netlist();
+  NetlistBuilder builder(std::move(circuit_name));
+
+  // Signal name at register depth k of vertex v's output chain.
+  auto tap_name = [&](VertexId v, std::int32_t k) -> std::string {
+    const RVertex& vx = g.vertex(v);
+    SERELIN_ASSERT(vx.node != kNullNode, "tap of a sink vertex");
+    const std::string& base = src.node(vx.node).name;
+    if (k == 0) return base;
+    return base + "$" + std::to_string(k);
+  };
+
+  for (VertexId v = 0; v < g.vertex_count(); ++v) {
+    const RVertex& vx = g.vertex(v);
+    if (vx.kind == VertexKind::kSink) continue;
+    const Node& n = src.node(vx.node);
+
+    // The driver itself.
+    switch (n.type) {
+      case CellType::kInput:
+        builder.input(n.name);
+        break;
+      case CellType::kConst0:
+      case CellType::kConst1:
+        builder.constant(n.name, n.type == CellType::kConst1);
+        break;
+      default: {
+        SERELIN_ASSERT(is_gate(n.type), "unexpected driver type");
+        // One in-edge per input pin, in pin order (all serelin gate types
+        // are symmetric in their fanins, but we keep the order anyway).
+        std::vector<std::string> fanins;
+        fanins.reserve(g.in_edges(v).size());
+        for (EdgeId eid : g.in_edges(v)) {
+          const REdge& e = g.edge(eid);
+          fanins.push_back(tap_name(e.from, g.wr(eid, r)));
+        }
+        SERELIN_ASSERT(fanins.size() == n.fanins.size(),
+                       "pin count changed during graph round-trip");
+        builder.gate(n.name, n.type, std::move(fanins));
+        break;
+      }
+    }
+
+    // Its shared register chain.
+    std::int32_t depth = 0;
+    for (EdgeId eid : g.out_edges(v)) depth = std::max(depth, g.wr(eid, r));
+    for (std::int32_t k = 1; k <= depth; ++k)
+      builder.dff(tap_name(v, k), tap_name(v, k - 1));
+  }
+
+  // Primary outputs: tap the driver chain at the edge's register depth.
+  for (VertexId v = 0; v < g.vertex_count(); ++v) {
+    if (g.vertex(v).kind != VertexKind::kSink) continue;
+    SERELIN_ASSERT(g.in_edges(v).size() == 1, "a PO sink has one driver");
+    const EdgeId eid = g.in_edges(v).front();
+    builder.output(tap_name(g.edge(eid).from, g.wr(eid, r)));
+  }
+
+  return builder.build();
+}
+
+}  // namespace serelin

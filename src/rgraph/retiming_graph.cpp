@@ -1,0 +1,134 @@
+#include "rgraph/retiming_graph.hpp"
+
+#include <algorithm>
+
+#include "support/check.hpp"
+
+namespace serelin {
+
+RetimingGraph::RetimingGraph(const Netlist& nl, const CellLibrary& lib)
+    : netlist_(&nl), library_(&lib) {
+  SERELIN_REQUIRE(nl.finalized(), "RetimingGraph needs a finalized netlist");
+  build(nl, lib);
+  check_structure();
+}
+
+VertexId RetimingGraph::add_vertex(VertexKind kind, NodeId node, double delay) {
+  const VertexId v = static_cast<VertexId>(vertices_.size());
+  vertices_.push_back(RVertex{kind, node, delay});
+  out_.emplace_back();
+  in_.emplace_back();
+  if (kind == VertexKind::kGate) gates_.push_back(v);
+  return v;
+}
+
+EdgeId RetimingGraph::add_edge(VertexId from, VertexId to, std::int32_t w) {
+  SERELIN_ASSERT(w >= 0, "edge weights are register counts and non-negative");
+  const EdgeId e = static_cast<EdgeId>(edges_.size());
+  edges_.push_back(REdge{from, to, w});
+  out_[from].push_back(e);
+  in_[to].push_back(e);
+  return e;
+}
+
+void RetimingGraph::build(const Netlist& nl, const CellLibrary& lib) {
+  vertex_of_.assign(nl.node_count(), kNullVertex);
+
+  // Vertices: one per gate, one per input/constant, one sink per PO signal.
+  for (NodeId id = 0; id < nl.node_count(); ++id) {
+    const Node& n = nl.node(id);
+    if (is_gate(n.type)) {
+      vertex_of_[id] = add_vertex(VertexKind::kGate, id, lib.delay(n.type));
+    } else if (n.type == CellType::kInput || n.type == CellType::kConst0 ||
+               n.type == CellType::kConst1) {
+      vertex_of_[id] = add_vertex(VertexKind::kSource, id, 0.0);
+    }
+    // DFFs get no vertex: chains collapse into edge weights below.
+  }
+  std::vector<VertexId> sink_of(nl.node_count(), kNullVertex);
+  for (NodeId o : nl.outputs()) sink_of[o] = add_vertex(VertexKind::kSink, o, 0.0);
+
+  // Edges: from every non-DFF node, walk forward through flip-flop chains.
+  // Each DFF has exactly one fanin, so each DFF is reached from exactly one
+  // root and the walk visits every absorbed DFF once overall.
+  std::vector<bool> dff_seen(nl.node_count(), false);
+  for (NodeId root = 0; root < nl.node_count(); ++root) {
+    const Node& rn = nl.node(root);
+    if (rn.type == CellType::kDff) continue;
+    const VertexId vu = vertex_of_[root];
+    // (node carrying the delayed signal, register depth from root)
+    std::vector<std::pair<NodeId, std::int32_t>> stack{{root, 0}};
+    while (!stack.empty()) {
+      const auto [x, depth] = stack.back();
+      stack.pop_back();
+      if (sink_of[x] != kNullVertex) add_edge(vu, sink_of[x], depth);
+      for (NodeId f : nl.node(x).fanouts) {
+        const Node& fn = nl.node(f);
+        if (fn.type == CellType::kDff) {
+          dff_seen[f] = true;
+          stack.emplace_back(f, depth + 1);
+        } else {
+          SERELIN_ASSERT(vertex_of_[f] != kNullVertex,
+                         "fanout must be a gate vertex");
+          add_edge(vu, vertex_of_[f], depth);
+        }
+      }
+    }
+  }
+  for (NodeId id = 0; id < nl.node_count(); ++id) {
+    if (nl.node(id).type == CellType::kDff && !dff_seen[id])
+      throw ParseError("flip-flop '" + nl.node(id).name +
+                       "' lies on a register-only cycle with no driver; "
+                       "such floating state cannot be retimed");
+  }
+}
+
+bool RetimingGraph::valid(const Retiming& r) const {
+  if (r.size() != vertices_.size()) return false;
+  for (VertexId v = 0; v < vertices_.size(); ++v)
+    if (!movable(v) && r[v] != 0) return false;
+  for (EdgeId e = 0; e < edges_.size(); ++e)
+    if (wr(e, r) < 0) return false;
+  return true;
+}
+
+std::int64_t RetimingGraph::total_edge_registers(const Retiming& r) const {
+  std::int64_t total = 0;
+  for (EdgeId e = 0; e < edges_.size(); ++e) total += wr(e, r);
+  return total;
+}
+
+std::int64_t RetimingGraph::shared_register_count(const Retiming& r) const {
+  std::int64_t total = 0;
+  for (VertexId v = 0; v < vertices_.size(); ++v) {
+    std::int32_t depth = 0;
+    for (EdgeId e : out_[v]) depth = std::max(depth, wr(e, r));
+    total += depth;
+  }
+  return total;
+}
+
+void RetimingGraph::check_structure() const {
+  // Every directed cycle must carry a register, i.e. the zero-weight
+  // subgraph must be acyclic. Kahn's algorithm over zero-weight edges.
+  std::vector<std::uint32_t> pending(vertices_.size(), 0);
+  for (const REdge& e : edges_)
+    if (e.w == 0) ++pending[e.to];
+  std::vector<VertexId> ready;
+  for (VertexId v = 0; v < vertices_.size(); ++v)
+    if (pending[v] == 0) ready.push_back(v);
+  std::size_t processed = 0;
+  while (!ready.empty()) {
+    const VertexId v = ready.back();
+    ready.pop_back();
+    ++processed;
+    for (EdgeId eid : out_[v]) {
+      const REdge& e = edges_[eid];
+      if (e.w == 0 && --pending[e.to] == 0) ready.push_back(e.to);
+    }
+  }
+  SERELIN_ASSERT(processed == vertices_.size(),
+                 "retiming graph has a register-free cycle");
+}
+
+}  // namespace serelin

@@ -1,0 +1,129 @@
+// The Leiserson–Saxe retiming graph G = (V, E, d, w).
+//
+// Vertices are the combinational gates of a netlist plus one *boundary*
+// vertex per primary input, per primary output and per constant. Boundary
+// vertices have zero delay and a pinned retiming label r = 0 — collectively
+// they play the role of the classical "host" vertex while preserving the
+// identity of each interface signal (needed for register sharing counts and
+// for reconstructing a netlist after retiming).
+//
+// An edge (u, v) with weight w(u, v) >= 0 records a connection from u's
+// output to one of v's input pins crossing w flip-flops. Flip-flop chains
+// and trees of the source netlist are collapsed into edge weights; parallel
+// edges are kept (a gate may consume the same signal on two pins, or reach
+// the same consumer at different register depths).
+//
+// A retiming r : V -> Z (r = 0 on boundary vertices) relocates registers:
+//   w_r(u, v) = w(u, v) + r(v) - r(u)                         [paper §III-A]
+// Decreasing r(v) moves registers forward across v (from its fanins to its
+// fanouts); this is the only move direction the optimizers in src/core use.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "netlist/cell_library.hpp"
+#include "netlist/netlist.hpp"
+
+namespace serelin {
+
+using VertexId = std::uint32_t;
+using EdgeId = std::uint32_t;
+inline constexpr VertexId kNullVertex = static_cast<VertexId>(-1);
+inline constexpr EdgeId kNullEdge = static_cast<EdgeId>(-1);
+
+enum class VertexKind : std::uint8_t {
+  kGate,     ///< a combinational gate (movable)
+  kSource,   ///< a primary input or constant (boundary; pinned r = 0)
+  kSink,     ///< a primary output (boundary; pinned r = 0)
+};
+
+struct RVertex {
+  VertexKind kind = VertexKind::kGate;
+  NodeId node = kNullNode;  ///< originating netlist node (kNullNode for sinks)
+  double delay = 0.0;       ///< d(v); zero for boundary vertices
+};
+
+struct REdge {
+  VertexId from = kNullVertex;
+  VertexId to = kNullVertex;
+  std::int32_t w = 0;  ///< register count in the reference circuit
+};
+
+/// A retiming assignment. Index parallel to RetimingGraph vertices.
+using Retiming = std::vector<std::int32_t>;
+
+class RetimingGraph {
+ public:
+  /// Builds the graph of `nl` with delays from `lib`. The netlist must be
+  /// finalized. Gate vertices keep a back-reference to their netlist node.
+  RetimingGraph(const Netlist& nl, const CellLibrary& lib);
+
+  std::size_t vertex_count() const { return vertices_.size(); }
+  std::size_t edge_count() const { return edges_.size(); }
+
+  const RVertex& vertex(VertexId v) const { return vertices_[v]; }
+  const REdge& edge(EdgeId e) const { return edges_[e]; }
+
+  /// Edge ids leaving / entering `v`.
+  const std::vector<EdgeId>& out_edges(VertexId v) const { return out_[v]; }
+  const std::vector<EdgeId>& in_edges(VertexId v) const { return in_[v]; }
+
+  bool movable(VertexId v) const {
+    return vertices_[v].kind == VertexKind::kGate;
+  }
+
+  /// All gate vertex ids (movable set).
+  const std::vector<VertexId>& gate_vertices() const { return gates_; }
+
+  /// Vertex carrying netlist node `n`, or kNullVertex (e.g. for DFFs, which
+  /// are collapsed into edge weights).
+  VertexId vertex_of(NodeId n) const { return vertex_of_[n]; }
+
+  /// The all-zero retiming (the reference circuit itself).
+  Retiming zero_retiming() const { return Retiming(vertices_.size(), 0); }
+
+  /// Registers on edge `e` under retiming `r`:  w + r(to) − r(from).
+  std::int32_t wr(EdgeId e, const Retiming& r) const {
+    const REdge& ed = edges_[e];
+    return ed.w + r[ed.to] - r[ed.from];
+  }
+
+  /// True iff every edge has w_r >= 0 and boundary labels are 0 (paper P0).
+  bool valid(const Retiming& r) const;
+
+  /// Sum of w_r over all edges (the register-position count that the
+  /// paper's observability objective Eq. (5) ranges over).
+  std::int64_t total_edge_registers(const Retiming& r) const;
+
+  /// Flip-flop count under the fanout-sharing model: registers at a
+  /// driver's output form one shared chain, so the driver contributes
+  /// max over its out-edges of w_r. This matches what reconstruction
+  /// (apply_retiming) actually instantiates.
+  std::int64_t shared_register_count(const Retiming& r) const;
+
+  /// Verifies that the graph is a legal retiming graph (non-negative
+  /// weights; every directed cycle has at least one register). Throws
+  /// AssertionError otherwise. Called by the constructor; public for tests.
+  void check_structure() const;
+
+  const Netlist& netlist() const { return *netlist_; }
+  const CellLibrary& library() const { return *library_; }
+
+ private:
+  VertexId add_vertex(VertexKind kind, NodeId node, double delay);
+  EdgeId add_edge(VertexId from, VertexId to, std::int32_t w);
+  void build(const Netlist& nl, const CellLibrary& lib);
+
+  const Netlist* netlist_ = nullptr;
+  const CellLibrary* library_ = nullptr;
+  std::vector<RVertex> vertices_;
+  std::vector<REdge> edges_;
+  std::vector<std::vector<EdgeId>> out_;
+  std::vector<std::vector<EdgeId>> in_;
+  std::vector<VertexId> gates_;
+  std::vector<VertexId> vertex_of_;  // NodeId -> VertexId (gates & sources)
+};
+
+}  // namespace serelin

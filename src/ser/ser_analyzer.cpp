@@ -1,0 +1,38 @@
+#include "ser/ser_analyzer.hpp"
+
+#include "support/check.hpp"
+
+namespace serelin {
+
+SerReport analyze_ser(const Netlist& nl, const CellLibrary& lib,
+                      const SerOptions& options) {
+  SERELIN_REQUIRE(options.timing.period > 0.0,
+                  "SER analysis needs a positive clock period");
+  SerReport report;
+
+  ObservabilityAnalyzer obs_engine(nl, options.sim);
+  report.obs = obs_engine.run(options.obs_mode).obs;
+  report.elw = compute_elw(nl, lib, options.timing);
+  report.contribution.assign(nl.node_count(), 0.0);
+
+  const double phi = options.timing.period;
+  for (NodeId id = 0; id < nl.node_count(); ++id) {
+    const Node& n = nl.node(id);
+    const bool comb = is_gate(n.type);
+    const bool seq = n.type == CellType::kDff;
+    if (!comb && !seq) continue;
+    const double err = lib.err(n.type);
+    const double window =
+        options.timing_masking ? report.elw.measure(id, phi) / phi : 1.0;
+    const double c = report.obs[id] * err * window;
+    report.contribution[id] = c;
+    if (comb)
+      report.combinational += c;
+    else
+      report.sequential += c;
+  }
+  report.total = report.combinational + report.sequential;
+  return report;
+}
+
+}  // namespace serelin

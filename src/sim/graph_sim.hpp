@@ -1,0 +1,86 @@
+// Graph-level sequential simulation with explicit per-edge register values,
+// and the forward-retiming state transport that makes retimings *provably*
+// functionally equivalent.
+//
+// A retiming graph + retiming r + a value for every register on every edge
+// is a complete sequential machine: cycle() evaluates every vertex (gates
+// combinationally, sources from caller-provided stimuli) and then shifts
+// every edge's register queue. Running the original circuit (r = 0, given
+// initial register values) and a forward-retimed circuit (r' <= r, register
+// values transported by decompose_forward) on the same input stream yields
+// identical primary-output streams cycle for cycle — the equivalence
+// property the test suite checks for every optimizer result.
+//
+// decompose_forward realizes a forward retiming as a sequence of elementary
+// moves. One elementary move across gate v removes the register nearest v
+// from every in-edge and places a register nearest v on every out-edge,
+// whose initial value is v evaluated on the removed registers' values (the
+// classical forward-retiming initial-state rule). A schedule of elementary
+// moves always exists for valid r' <= r because a blocked dependency chain
+// would exhibit either a register-free cycle (impossible: cycle weights are
+// retiming-invariant and positive) or an immovable boundary vertex with a
+// pending move (excluded by validity).
+#pragma once
+
+#include <deque>
+#include <vector>
+
+#include "rgraph/retiming_graph.hpp"
+#include "support/rng.hpp"
+
+namespace serelin {
+
+/// Register values per edge. queue.front() is the register nearest the
+/// consumer (next value the consumer reads); queue.back() is nearest the
+/// producer. Each register holds `words` 64-bit pattern words.
+using EdgeState = std::vector<std::deque<std::vector<std::uint64_t>>>;
+
+/// All-zero register state matching w_r(e) registers per edge.
+EdgeState zero_edge_state(const RetimingGraph& g, const Retiming& r,
+                          int words);
+
+class GraphStateSimulator {
+ public:
+  /// Requires g.valid(r) and state sized per w_r.
+  GraphStateSimulator(const RetimingGraph& g, const Retiming& r,
+                      EdgeState state, int words);
+
+  /// Sets the value words of a source vertex (primary input) for the
+  /// upcoming cycle.
+  void set_source(VertexId v, std::vector<std::uint64_t> words);
+
+  /// Fills every primary-input source with random words.
+  void randomize_sources(Rng& rng);
+
+  /// Evaluates one cycle and shifts the registers.
+  void cycle();
+
+  /// Output value of vertex `v` from the last cycle().
+  const std::vector<std::uint64_t>& value(VertexId v) const {
+    return values_[v];
+  }
+
+  /// Concatenated sink (primary output) values from the last cycle(), in
+  /// sink vertex order — the comparison key for equivalence checks.
+  std::vector<std::uint64_t> sink_values() const;
+
+  const EdgeState& state() const { return state_; }
+
+ private:
+  const RetimingGraph* g_;
+  Retiming r_;
+  EdgeState state_;
+  int words_;
+  std::vector<std::vector<std::uint64_t>> values_;
+  std::vector<VertexId> topo_;  // topological order of the w_r=0 subgraph
+};
+
+/// Transports register values from (g, r_from, state) to the equivalent
+/// state of (g, r_to), where r_to <= r_from on movable vertices and both
+/// retimings are valid. Throws AssertionError if no elementary-move
+/// schedule exists (indicates an invalid retiming pair).
+EdgeState decompose_forward(const RetimingGraph& g, const Retiming& r_from,
+                            const Retiming& r_to, const EdgeState& state,
+                            int words);
+
+}  // namespace serelin

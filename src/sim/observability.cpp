@@ -1,0 +1,209 @@
+#include "sim/observability.hpp"
+
+#include <algorithm>
+#include <bit>
+
+#include "support/check.hpp"
+
+namespace serelin {
+
+namespace {
+
+double popcount_fraction(std::span<const std::uint64_t> mask, int patterns) {
+  std::int64_t ones = 0;
+  for (std::uint64_t w : mask) ones += std::popcount(w);
+  return static_cast<double>(ones) / patterns;
+}
+
+}  // namespace
+
+ObservabilityAnalyzer::ObservabilityAnalyzer(const Netlist& nl, SimConfig cfg)
+    : nl_(&nl), cfg_(cfg), words_(cfg.words()) {
+  SERELIN_REQUIRE(cfg.frames > 0, "need at least one time frame");
+}
+
+void ObservabilityAnalyzer::record_run() {
+  Rng rng(cfg_.seed);
+  Simulator sim(*nl_, words_);
+  sim.reset_state();
+  sim.run_random_cycles(cfg_.warmup, rng);
+
+  inputs_.assign(cfg_.frames, {});
+  states_.assign(cfg_.frames, {});
+  for (int f = 0; f < cfg_.frames; ++f) {
+    auto& in = inputs_[f];
+    in.reserve(nl_->inputs().size() * static_cast<std::size_t>(words_));
+    sim.randomize_inputs(rng);
+    for (NodeId pi : nl_->inputs()) {
+      auto v = sim.value(pi);
+      in.insert(in.end(), v.begin(), v.end());
+    }
+    states_[f].assign(sim.state_plane().begin(), sim.state_plane().end());
+    sim.eval_frame();
+    sim.step();
+  }
+}
+
+ObsResult ObservabilityAnalyzer::run(Mode mode) {
+  record_run();
+  return mode == Mode::kSignature ? run_signature() : run_exact();
+}
+
+ObsResult ObservabilityAnalyzer::run_signature() {
+  const std::size_t n_nodes = nl_->node_count();
+  const std::size_t plane = n_nodes * static_cast<std::size_t>(words_);
+  Simulator sim(*nl_, words_);
+
+  // Reverse evaluation order: gates in reverse topological order first,
+  // then every source node (whose fanouts are all gates or cross-frame).
+  std::vector<NodeId> reverse_order(nl_->gate_order().rbegin(),
+                                    nl_->gate_order().rend());
+  for (NodeId id = 0; id < n_nodes; ++id)
+    if (!is_gate(nl_->node(id).type)) reverse_order.push_back(id);
+
+  std::vector<std::uint64_t> odc(plane, 0);
+  // ODC of each flip-flop node in frame i+1, indexed by dff position.
+  std::vector<std::uint64_t> odc_next(
+      nl_->dff_count() * static_cast<std::size_t>(words_), 0);
+  std::vector<std::uint32_t> dff_index(n_nodes, 0);
+  for (std::size_t i = 0; i < nl_->dffs().size(); ++i)
+    dff_index[nl_->dffs()[i]] = static_cast<std::uint32_t>(i);
+
+  std::vector<std::uint64_t> gather;   // fanin words for one pattern word
+  std::vector<std::uint64_t> result;   // reused odc accumulator
+  ObsResult out;
+  out.obs.assign(n_nodes, 0.0);
+
+  for (int frame = cfg_.frames - 1; frame >= 0; --frame) {
+    // Re-evaluate frame `frame`.
+    sim.load_state(states_[frame]);
+    const auto& in = inputs_[frame];
+    for (std::size_t p = 0; p < nl_->inputs().size(); ++p) {
+      auto dst = sim.value(nl_->inputs()[p]);
+      std::copy(in.begin() + static_cast<std::ptrdiff_t>(p * words_),
+                in.begin() + static_cast<std::ptrdiff_t>((p + 1) * words_),
+                dst.begin());
+    }
+    sim.eval_frame();
+
+    const bool last_frame = (frame == cfg_.frames - 1);
+    for (NodeId v : reverse_order) {
+      auto odc_v = std::span<std::uint64_t>(
+          odc.data() + static_cast<std::size_t>(v) * words_,
+          static_cast<std::size_t>(words_));
+      std::fill(odc_v.begin(), odc_v.end(),
+                nl_->is_output(v) ? ~0ULL : 0ULL);
+      for (NodeId f : nl_->node(v).fanouts) {
+        const Node& fn = nl_->node(f);
+        if (fn.type == CellType::kDff) {
+          // Cross-frame: the register stores v, visible next frame (or
+          // captured as a pseudo-output after the last frame).
+          if (last_frame) {
+            std::fill(odc_v.begin(), odc_v.end(), ~0ULL);
+          } else {
+            const std::uint64_t* nx =
+                odc_next.data() +
+                static_cast<std::size_t>(dff_index[f]) * words_;
+            for (int w = 0; w < words_; ++w) odc_v[w] |= nx[w];
+          }
+          continue;
+        }
+        // Local sensitivity of fanout gate f to a flip of v, masked by f's
+        // own ODC (already computed: f is topologically after v).
+        const std::uint64_t* odc_f =
+            odc.data() + static_cast<std::size_t>(f) * words_;
+        gather.resize(fn.fanins.size());
+        auto fv = sim.value(f);
+        for (int w = 0; w < words_; ++w) {
+          for (std::size_t k = 0; k < fn.fanins.size(); ++k) {
+            std::uint64_t word = sim.value(fn.fanins[k])[w];
+            if (fn.fanins[k] == v) word = ~word;
+            gather[k] = word;
+          }
+          const std::uint64_t flipped =
+              eval_cell(fn.type, {gather.data(), fn.fanins.size()});
+          odc_v[w] |= (flipped ^ fv[w]) & odc_f[w];
+        }
+      }
+    }
+
+    // Snapshot flip-flop ODCs for the next (earlier) frame's cross terms.
+    for (std::size_t i = 0; i < nl_->dffs().size(); ++i) {
+      const std::uint64_t* src =
+          odc.data() + static_cast<std::size_t>(nl_->dffs()[i]) * words_;
+      std::copy(src, src + words_,
+                odc_next.begin() + static_cast<std::ptrdiff_t>(i * words_));
+    }
+  }
+
+  for (NodeId v = 0; v < n_nodes; ++v)
+    out.obs[v] = popcount_fraction(
+        {odc.data() + static_cast<std::size_t>(v) * words_,
+         static_cast<std::size_t>(words_)},
+        cfg_.patterns);
+  return out;
+}
+
+std::vector<std::uint64_t> ObservabilityAnalyzer::observables(NodeId flip) {
+  Simulator sim(*nl_, words_);
+  sim.load_state(states_[0]);
+  std::vector<std::uint64_t> obs_words;
+  for (int frame = 0; frame < cfg_.frames; ++frame) {
+    const auto& in = inputs_[frame];
+    for (std::size_t p = 0; p < nl_->inputs().size(); ++p) {
+      auto dst = sim.value(nl_->inputs()[p]);
+      std::copy(in.begin() + static_cast<std::ptrdiff_t>(p * words_),
+                in.begin() + static_cast<std::ptrdiff_t>((p + 1) * words_),
+                dst.begin());
+    }
+    if (frame == 0 && flip != kNullNode) {
+      // Evaluate with the flip injected at `flip` and propagated: evaluate
+      // normally, invert the node, then re-evaluate everything downstream.
+      // Re-evaluating the whole frame after the inversion is simplest and
+      // correct because gate evaluation is in topological order and the
+      // inverted node is pinned.
+      sim.eval_frame();
+      auto fv = sim.value(flip);
+      for (auto& w : fv) w = ~w;
+      // Recompute gates downstream of flip (all gates; pin the flip).
+      for (NodeId id : nl_->gate_order()) {
+        if (id == flip) continue;
+        const Node& n = nl_->node(id);
+        std::vector<std::uint64_t> gather(n.fanins.size());
+        auto outw = sim.value(id);
+        for (int w = 0; w < words_; ++w) {
+          for (std::size_t k = 0; k < n.fanins.size(); ++k)
+            gather[k] = sim.value(n.fanins[k])[w];
+          outw[w] = eval_cell(n.type, {gather.data(), n.fanins.size()});
+        }
+      }
+    } else {
+      sim.eval_frame();
+    }
+    for (NodeId po : nl_->outputs()) {
+      auto v = sim.value(po);
+      obs_words.insert(obs_words.end(), v.begin(), v.end());
+    }
+    sim.step();
+  }
+  const auto st = sim.state_plane();
+  obs_words.insert(obs_words.end(), st.begin(), st.end());
+  return obs_words;
+}
+
+ObsResult ObservabilityAnalyzer::run_exact() {
+  ObsResult out;
+  out.obs.assign(nl_->node_count(), 0.0);
+  const std::vector<std::uint64_t> base = observables(kNullNode);
+  for (NodeId v = 0; v < nl_->node_count(); ++v) {
+    const std::vector<std::uint64_t> flipped = observables(v);
+    SERELIN_ASSERT(flipped.size() == base.size(), "observable plane mismatch");
+    std::vector<std::uint64_t> diff(static_cast<std::size_t>(words_), 0);
+    for (std::size_t i = 0; i < base.size(); ++i)
+      diff[i % static_cast<std::size_t>(words_)] |= base[i] ^ flipped[i];
+    out.obs[v] = popcount_fraction(diff, cfg_.patterns);
+  }
+  return out;
+}
+
+}  // namespace serelin

@@ -1,0 +1,34 @@
+// Configuration of signature-based logic simulation.
+#pragma once
+
+#include <cstdint>
+
+#include "support/check.hpp"
+
+namespace serelin {
+
+struct SimConfig {
+  /// Number of random patterns K (the paper's signal-sequence length).
+  /// Must be a positive multiple of 64; the paper-scale experiments use
+  /// 2048, tests often use smaller values.
+  int patterns = 2048;
+
+  /// Time-frame expansion depth n. The paper uses 15 frames "to reach the
+  /// steady operational state".
+  int frames = 15;
+
+  /// Warm-up cycles simulated from the all-zero state (with random inputs)
+  /// before the n analysed frames, so frame 0 starts from a typical state.
+  int warmup = 30;
+
+  /// Seed for input patterns and warm-up.
+  std::uint64_t seed = 0x5e7e11a5ULL;
+
+  int words() const {
+    SERELIN_REQUIRE(patterns > 0 && patterns % 64 == 0,
+                    "patterns must be a positive multiple of 64");
+    return patterns / 64;
+  }
+};
+
+}  // namespace serelin

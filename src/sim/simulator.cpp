@@ -1,0 +1,86 @@
+#include "sim/simulator.hpp"
+
+#include <algorithm>
+
+#include "support/check.hpp"
+
+namespace serelin {
+
+Simulator::Simulator(const Netlist& nl, int words) : nl_(&nl), words_(words) {
+  SERELIN_REQUIRE(nl.finalized(), "Simulator needs a finalized netlist");
+  SERELIN_REQUIRE(words > 0, "need at least one simulation word");
+  values_.assign(nl.node_count() * static_cast<std::size_t>(words), 0);
+  state_.assign(nl.dff_count() * static_cast<std::size_t>(words), 0);
+  std::size_t max_arity = 1;
+  for (NodeId id = 0; id < nl.node_count(); ++id)
+    max_arity = std::max(max_arity, nl.node(id).fanins.size());
+  scratch_.assign(max_arity, 0);
+}
+
+void Simulator::reset_state() {
+  std::fill(state_.begin(), state_.end(), 0);
+}
+
+void Simulator::load_state(std::span<const std::uint64_t> state) {
+  SERELIN_REQUIRE(state.size() == state_.size(),
+                  "state plane size mismatch");
+  std::copy(state.begin(), state.end(), state_.begin());
+}
+
+void Simulator::randomize_inputs(Rng& rng) {
+  for (NodeId id : nl_->inputs()) {
+    auto v = value(id);
+    for (auto& w : v) w = rng.next();
+  }
+}
+
+void Simulator::eval_frame() {
+  // Sources: flip-flops read their state; constants are rewritten each
+  // frame (cheap and keeps the plane consistent after load_state).
+  const auto& dffs = nl_->dffs();
+  for (std::size_t i = 0; i < dffs.size(); ++i) {
+    auto dst = value(dffs[i]);
+    auto src = state(i);
+    std::copy(src.begin(), src.end(), dst.begin());
+  }
+  for (NodeId id = 0; id < nl_->node_count(); ++id) {
+    const CellType t = nl_->node(id).type;
+    if (t == CellType::kConst0) {
+      auto v = value(id);
+      std::fill(v.begin(), v.end(), 0ULL);
+    } else if (t == CellType::kConst1) {
+      auto v = value(id);
+      std::fill(v.begin(), v.end(), ~0ULL);
+    }
+  }
+  // Gates in topological order.
+  for (NodeId id : nl_->gate_order()) {
+    const Node& n = nl_->node(id);
+    auto out = value(id);
+    for (int w = 0; w < words_; ++w) {
+      for (std::size_t f = 0; f < n.fanins.size(); ++f)
+        scratch_[f] = values_[static_cast<std::size_t>(n.fanins[f]) * words_ + w];
+      out[w] = eval_cell(n.type, {scratch_.data(), n.fanins.size()});
+    }
+  }
+}
+
+void Simulator::step() {
+  const auto& dffs = nl_->dffs();
+  for (std::size_t i = 0; i < dffs.size(); ++i) {
+    const NodeId driver = nl_->node(dffs[i]).fanins[0];
+    auto src = value(driver);
+    auto dst = state(i);
+    std::copy(src.begin(), src.end(), dst.begin());
+  }
+}
+
+void Simulator::run_random_cycles(int cycles, Rng& rng) {
+  for (int c = 0; c < cycles; ++c) {
+    randomize_inputs(rng);
+    eval_frame();
+    step();
+  }
+}
+
+}  // namespace serelin

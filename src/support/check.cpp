@@ -1,0 +1,27 @@
+#include "support/check.hpp"
+
+#include <sstream>
+
+namespace serelin::detail {
+
+namespace {
+std::string format(const char* kind, const char* expr, const char* file,
+                   int line, const std::string& msg) {
+  std::ostringstream os;
+  os << kind << " failed: (" << expr << ") at " << file << ":" << line;
+  if (!msg.empty()) os << " — " << msg;
+  return os.str();
+}
+}  // namespace
+
+void throw_assertion(const char* expr, const char* file, int line,
+                     const std::string& msg) {
+  throw AssertionError(format("assertion", expr, file, line, msg));
+}
+
+void throw_precondition(const char* expr, const char* file, int line,
+                        const std::string& msg) {
+  throw PreconditionError(format("precondition", expr, file, line, msg));
+}
+
+}  // namespace serelin::detail

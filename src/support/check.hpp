@@ -1,0 +1,67 @@
+// Error-handling primitives for serelin.
+//
+// The library distinguishes three failure classes:
+//  * programming errors (broken invariants)           -> SERELIN_ASSERT
+//  * precondition violations on public API            -> SERELIN_REQUIRE
+//  * malformed external input (files, command lines)  -> ParseError
+//
+// All throw exceptions derived from serelin::Error so callers can catch one
+// type at tool boundaries.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace serelin {
+
+/// Base class of every exception thrown by the library.
+class Error : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+/// Broken internal invariant: indicates a bug in serelin itself.
+class AssertionError : public Error {
+ public:
+  using Error::Error;
+};
+
+/// A public-API precondition was violated by the caller.
+class PreconditionError : public Error {
+ public:
+  using Error::Error;
+};
+
+/// Malformed external input (e.g. a .bench file that does not parse).
+class ParseError : public Error {
+ public:
+  using Error::Error;
+};
+
+namespace detail {
+[[noreturn]] void throw_assertion(const char* expr, const char* file, int line,
+                                  const std::string& msg);
+[[noreturn]] void throw_precondition(const char* expr, const char* file,
+                                     int line, const std::string& msg);
+}  // namespace detail
+
+}  // namespace serelin
+
+/// Internal invariant check; always on (the algorithms here are subtle and
+/// the cost is negligible next to the graph traversals they guard).
+#define SERELIN_ASSERT(expr, msg)                                     \
+  do {                                                                \
+    if (!(expr)) {                                                    \
+      ::serelin::detail::throw_assertion(#expr, __FILE__, __LINE__,   \
+                                         (msg));                     \
+    }                                                                 \
+  } while (false)
+
+/// Public-API precondition check.
+#define SERELIN_REQUIRE(expr, msg)                                     \
+  do {                                                                 \
+    if (!(expr)) {                                                     \
+      ::serelin::detail::throw_precondition(#expr, __FILE__, __LINE__, \
+                                            (msg));                   \
+    }                                                                  \
+  } while (false)

@@ -1,0 +1,26 @@
+// Wall-clock stopwatch used by the experiment harnesses to report the
+// per-algorithm runtimes that Table I of the paper lists.
+#pragma once
+
+#include <chrono>
+
+namespace serelin {
+
+class Stopwatch {
+ public:
+  Stopwatch() : start_(Clock::now()) {}
+
+  /// Restart the stopwatch.
+  void reset() { start_ = Clock::now(); }
+
+  /// Seconds elapsed since construction or the last reset().
+  double seconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace serelin

@@ -1,0 +1,23 @@
+// Small string helpers shared by the .bench parser and report writers.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace serelin {
+
+/// Removes leading and trailing whitespace.
+std::string_view trim(std::string_view s);
+
+/// Splits on any character in `delims`, dropping empty pieces.
+std::vector<std::string_view> split(std::string_view s,
+                                    std::string_view delims);
+
+/// ASCII upper-casing (gate-type keywords in .bench are case-insensitive).
+std::string to_upper(std::string_view s);
+
+/// True if `s` starts with `prefix`.
+bool starts_with(std::string_view s, std::string_view prefix);
+
+}  // namespace serelin

@@ -1,0 +1,64 @@
+#include "support/table.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <sstream>
+
+#include "support/check.hpp"
+
+namespace serelin {
+
+TextTable::TextTable(std::vector<std::string> headers)
+    : headers_(std::move(headers)) {
+  SERELIN_REQUIRE(!headers_.empty(), "a table needs at least one column");
+}
+
+void TextTable::add_row(std::vector<std::string> cells) {
+  SERELIN_REQUIRE(cells.size() == headers_.size(),
+                  "row arity must match the header");
+  rows_.push_back(std::move(cells));
+}
+
+std::string TextTable::str() const {
+  std::vector<std::size_t> width(headers_.size());
+  for (std::size_t c = 0; c < headers_.size(); ++c) width[c] = headers_[c].size();
+  for (const auto& row : rows_)
+    for (std::size_t c = 0; c < row.size(); ++c)
+      width[c] = std::max(width[c], row[c].size());
+
+  std::ostringstream os;
+  auto emit = [&](const std::vector<std::string>& row) {
+    os << "|";
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      os << ' ' << row[c] << std::string(width[c] - row[c].size(), ' ') << " |";
+    }
+    os << '\n';
+  };
+  emit(headers_);
+  os << "|";
+  for (std::size_t c = 0; c < headers_.size(); ++c)
+    os << std::string(width[c] + 2, '-') << "|";
+  os << '\n';
+  for (const auto& row : rows_) emit(row);
+  return os.str();
+}
+
+std::string fmt_fixed(double v, int digits) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.*f", digits, v);
+  return buf;
+}
+
+std::string fmt_percent(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.2f%%", v * 100.0);
+  return buf;
+}
+
+std::string fmt_sci(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.2E", v);
+  return buf;
+}
+
+}  // namespace serelin

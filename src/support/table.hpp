@@ -1,0 +1,39 @@
+// Plain-text table formatter used by the Table-I harness and the examples.
+//
+// Produces aligned, pipe-separated rows similar to the paper's table so the
+// reproduced results can be compared side by side with the published ones.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace serelin {
+
+class TextTable {
+ public:
+  /// Defines the column headers; all subsequent rows must have equal arity.
+  explicit TextTable(std::vector<std::string> headers);
+
+  /// Appends a data row (already formatted cells).
+  void add_row(std::vector<std::string> cells);
+
+  /// Renders the table with a header separator line.
+  std::string str() const;
+
+  std::size_t rows() const { return rows_.size(); }
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Formats `v` with `digits` digits after the decimal point.
+std::string fmt_fixed(double v, int digits);
+
+/// Formats `v` as a percentage with two decimals, e.g. -32.70%.
+std::string fmt_percent(double v);
+
+/// Formats `v` in scientific notation with two decimals, e.g. 7.72E-03.
+std::string fmt_sci(double v);
+
+}  // namespace serelin

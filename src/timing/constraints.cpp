@@ -1,0 +1,183 @@
+#include "timing/constraints.hpp"
+
+#include "support/check.hpp"
+
+namespace serelin {
+
+namespace {
+inline bool allowed(std::span<const char> movers, VertexId p) {
+  return movers.empty() || movers[p];
+}
+}  // namespace
+
+ConstraintChecker::ConstraintChecker(const RetimingGraph& g,
+                                     TimingParams params, double rmin)
+    : g_(&g), params_(params), rmin_(rmin) {}
+
+std::optional<Violation> ConstraintChecker::find_violation(
+    const Retiming& r, const GraphTiming& t,
+    std::span<const char> movers) const {
+  // P0 first: with a negative edge weight the timing labels are
+  // meaningless (the paper's order P2/P0/P1 presumes P0 holds during the
+  // timing query).
+  if (auto v = find_p0(r)) return v;
+  if (auto v = find_p2(r, t, movers)) return v;
+  if (auto v = find_p1(t, movers)) return v;
+  return std::nullopt;
+}
+
+std::optional<Violation> ConstraintChecker::find_p2(
+    const Retiming& r, const GraphTiming& t,
+    std::span<const char> movers) const {
+  if (rmin_ <= 0.0) return std::nullopt;
+  std::optional<Violation> fallback;
+  for (EdgeId eid = 0; eid < g_->edge_count(); ++eid) {
+    if (g_->wr(eid, r) <= 0) continue;
+    const REdge& e = g_->edge(eid);
+    const RVertex& head = g_->vertex(e.to);
+    if (head.kind == VertexKind::kSink) {
+      // A register delivered directly to a primary output: the short path
+      // is empty and nothing downstream can absorb it. Unfixable — the
+      // driver's tree must be blocked (the paper's host early exit).
+      if (rmin_ > kEps) {
+        Violation v{ConstraintKind::kP2, e.from, e.to, 1};
+        if (allowed(movers, v.p)) return v;
+        if (!fallback) fallback = v;
+      }
+      continue;
+    }
+    const double short_path = head.delay + t.min_after(e.to);
+    if (short_path + kEps >= rmin_) continue;
+    // Critical short path e.to ~> z with boundary edge (z, y): move the
+    // registers on (z, y) forward past y (paper Fig. 2(c)). The dependency
+    // source is the tail whose move delivered this register edge, or the
+    // rt() witness whose move planted the closer boundary.
+    const EdgeId boundary = t.crit_min_edge(e.to);
+    if (boundary == kNullEdge) continue;  // dangling cone: nothing latches
+    const REdge& be = g_->edge(boundary);
+    const std::int32_t need = std::max(g_->wr(boundary, r), 1);
+    VertexId p = e.from;
+    if (!allowed(movers, p) && allowed(movers, t.rt(e.to))) p = t.rt(e.to);
+    Violation v{ConstraintKind::kP2, p, be.to, need};
+    if (allowed(movers, v.p)) return v;
+    if (!fallback) fallback = v;
+  }
+  return fallback;
+}
+
+std::optional<Violation> ConstraintChecker::find_p0(const Retiming& r) const {
+  for (EdgeId eid = 0; eid < g_->edge_count(); ++eid) {
+    const std::int32_t w = g_->wr(eid, r);
+    if (w >= 0) continue;
+    const REdge& e = g_->edge(eid);
+    // Only the head's decrease can drain an edge, so e.to is the mover.
+    return Violation{ConstraintKind::kP0, e.to, e.from, -w};
+  }
+  return std::nullopt;
+}
+
+std::optional<Violation> ConstraintChecker::find_p1(
+    const GraphTiming& t, std::span<const char> movers) const {
+  const double budget = params_.window_lo();
+  std::optional<Violation> fallback;
+  for (VertexId v = 0; v < g_->vertex_count(); ++v) {
+    if (g_->vertex(v).kind == VertexKind::kSink) continue;
+    const double longest = g_->vertex(v).delay + t.max_after(v);
+    if (longest <= budget + kEps) continue;
+    // A too-long path ends at lt(v), whose out-edge holds the register
+    // that must be pulled back in front of v (paper Fig. 2(b)).
+    Violation viol{ConstraintKind::kP1, t.lt(v), v, 1};
+    if (allowed(movers, viol.p)) return viol;
+    if (!fallback) fallback = viol;
+  }
+  return fallback;
+}
+
+std::vector<Violation> ConstraintChecker::find_violations(
+    const Retiming& r, const GraphTiming& t, std::span<const char> movers,
+    std::size_t max_count) const {
+  std::vector<Violation> out;
+  std::vector<char> taken(g_->vertex_count(), 0);
+  auto push = [&](const Violation& v) {
+    if (taken[v.q]) return;
+    taken[v.q] = 1;
+    out.push_back(v);
+  };
+
+  // P0 first; with negative edge weights the timing labels are junk.
+  for (EdgeId eid = 0; eid < g_->edge_count() && out.size() < max_count;
+       ++eid) {
+    const std::int32_t w = g_->wr(eid, r);
+    if (w >= 0) continue;
+    const REdge& e = g_->edge(eid);
+    push(Violation{ConstraintKind::kP0, e.to, e.from, -w});
+  }
+  if (!out.empty()) return out;
+
+  std::optional<Violation> fallback;
+
+  // P2'.
+  if (rmin_ > 0.0) {
+    for (EdgeId eid = 0; eid < g_->edge_count() && out.size() < max_count;
+         ++eid) {
+      if (g_->wr(eid, r) <= 0) continue;
+      const REdge& e = g_->edge(eid);
+      const RVertex& head = g_->vertex(e.to);
+      if (head.kind == VertexKind::kSink) {
+        if (rmin_ > kEps) {
+          Violation v{ConstraintKind::kP2, e.from, e.to, 1};
+          if (allowed(movers, v.p)) push(v);
+          else if (!fallback) fallback = v;
+        }
+        continue;
+      }
+      const double short_path = head.delay + t.min_after(e.to);
+      if (short_path + kEps >= rmin_) continue;
+      const EdgeId boundary = t.crit_min_edge(e.to);
+      if (boundary == kNullEdge) continue;
+      const REdge& be = g_->edge(boundary);
+      const std::int32_t need = std::max(g_->wr(boundary, r), 1);
+      VertexId p = e.from;
+      if (!allowed(movers, p) && allowed(movers, t.rt(e.to))) p = t.rt(e.to);
+      Violation v{ConstraintKind::kP2, p, be.to, need};
+      if (allowed(movers, v.p)) push(v);
+      else if (!fallback) fallback = v;
+    }
+  }
+
+  // P1'.
+  const double budget = params_.window_lo();
+  for (VertexId v = 0; v < g_->vertex_count() && out.size() < max_count;
+       ++v) {
+    if (g_->vertex(v).kind == VertexKind::kSink) continue;
+    const double longest = g_->vertex(v).delay + t.max_after(v);
+    if (longest <= budget + kEps) continue;
+    Violation viol{ConstraintKind::kP1, t.lt(v), v, 1};
+    if (allowed(movers, viol.p)) push(viol);
+    else if (!fallback) fallback = viol;
+  }
+
+  if (out.empty() && fallback) out.push_back(*fallback);
+  return out;
+}
+
+bool ConstraintChecker::p0_holds(const Retiming& r) const {
+  return !find_p0(r).has_value();
+}
+
+bool ConstraintChecker::p1_holds(const GraphTiming& t) const {
+  return !find_p1(t, {}).has_value();
+}
+
+bool ConstraintChecker::p2_holds(const Retiming& r,
+                                 const GraphTiming& t) const {
+  return !find_p2(r, t, {}).has_value();
+}
+
+bool ConstraintChecker::feasible(const Retiming& r, GraphTiming& t) const {
+  if (!g_->valid(r)) return false;  // includes P0 and pinned boundary labels
+  t.compute(r);
+  return !find_violation(r, t).has_value();
+}
+
+}  // namespace serelin

@@ -1,0 +1,45 @@
+#include "timing/elw.hpp"
+
+#include <algorithm>
+
+#include "support/check.hpp"
+
+namespace serelin {
+
+double ElwResult::measure(NodeId node, double period) const {
+  return std::min(elw[node].measure(), period);
+}
+
+ElwResult compute_elw(const Netlist& nl, const CellLibrary& lib,
+                      const TimingParams& params) {
+  SERELIN_REQUIRE(nl.finalized(), "compute_elw needs a finalized netlist");
+  ElwResult out;
+  out.elw.assign(nl.node_count(), IntervalSet{});
+  const IntervalSet base(params.window_lo(), params.window_hi());
+
+  auto accumulate = [&](NodeId v) {
+    IntervalSet w;
+    bool latched_here = nl.is_output(v);
+    for (NodeId f : nl.node(v).fanouts) {
+      const Node& fn = nl.node(f);
+      if (fn.type == CellType::kDff) {
+        latched_here = true;  // v drives a register D pin
+      } else {
+        SERELIN_ASSERT(is_gate(fn.type), "unexpected fanout type");
+        w.unite(out.elw[f].shifted(-lib.delay(fn.type)));
+      }
+    }
+    if (latched_here) w.unite(base);
+    out.elw[v] = std::move(w);
+  };
+
+  // Gates in reverse topological order, then sources (inputs, constants,
+  // flip-flops), whose fanouts are all gates or registers.
+  const auto& order = nl.gate_order();
+  for (auto it = order.rbegin(); it != order.rend(); ++it) accumulate(*it);
+  for (NodeId v = 0; v < nl.node_count(); ++v)
+    if (!is_gate(nl.node(v).type)) accumulate(v);
+  return out;
+}
+
+}  // namespace serelin

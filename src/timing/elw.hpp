@@ -1,0 +1,51 @@
+// Exact error-latching windows (ELWs) on a netlist, per the paper's Eq. (3).
+//
+// The ELW of a node is the set of in-cycle instants at which a transient
+// glitch at the node's output, if it survives logic masking, arrives at some
+// register (or primary output) inside the latching window [Φ−Ts, Φ+Th] and
+// is therefore locked in. It is computed backward from the latching
+// boundaries:
+//
+//   ELW(g) ⊇ [Φ−Ts, Φ+Th]                 if g drives a register D pin or a
+//                                         primary output (g ∈ RO);
+//   ELW(g) ⊇ ELW(f) − d(f)                for every combinational fanout f.
+//
+// Unlike the paper's two-case Eq. (3) we take the union of both
+// contributions for nodes with mixed fanout (a gate that feeds both a
+// register and further logic): a glitch there can be latched directly *or*
+// propagate — the union is the physically conservative window.
+//
+// Flip-flop nodes are "wires" in the expanded-circuit view (paper §II-C),
+// so their ELW follows the same recurrence: it describes when an upset of
+// the stored bit, appearing at the flip-flop output, gets re-latched
+// downstream.
+//
+// The paper's Theorem 1 (L(v) = leftmost, R(v) = rightmost ELW boundary)
+// connects these interval sets to the graph labels of GraphTiming; the test
+// suite checks that correspondence.
+#pragma once
+
+#include <vector>
+
+#include "interval/interval_set.hpp"
+#include "netlist/netlist.hpp"
+#include "timing/params.hpp"
+
+namespace serelin {
+
+struct ElwResult {
+  /// Per-node ELW, indexed by NodeId. Empty for nodes whose glitches can
+  /// never be latched (e.g. dangling cones).
+  std::vector<IntervalSet> elw;
+
+  /// Sum of interval lengths |ELW(node)| (paper Eq. 4 numerator), capped at
+  /// one clock period: a glitch occurs at one instant per cycle, so its
+  /// latching probability |ELW|/Φ cannot exceed 1.
+  double measure(NodeId node, double period) const;
+};
+
+/// Computes ELWs for every node of a finalized netlist.
+ElwResult compute_elw(const Netlist& nl, const CellLibrary& lib,
+                      const TimingParams& params);
+
+}  // namespace serelin

@@ -1,0 +1,21 @@
+// Clocking parameters shared by all timing computations.
+//
+// An edge-triggered D register latches data inside [Φ−Ts, Φ+Th] (paper
+// §II-C). The paper's experiments use Ts = 0 and Th = 2 "as suggested by
+// [23]"; those are the defaults here.
+#pragma once
+
+namespace serelin {
+
+struct TimingParams {
+  double period = 0.0;  ///< clock period Φ
+  double setup = 0.0;   ///< register setup time Ts
+  double hold = 2.0;    ///< register hold time Th
+
+  /// Left edge Φ−Ts of the latching window.
+  double window_lo() const { return period - setup; }
+  /// Right edge Φ+Th of the latching window.
+  double window_hi() const { return period + hold; }
+};
+
+}  // namespace serelin

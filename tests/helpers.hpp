@@ -1,0 +1,75 @@
+// Shared fixtures for the serelin test suite: small hand-built circuits and
+// feasibility helpers used across test files.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/objective.hpp"
+#include "netlist/builder.hpp"
+#include "netlist/netlist.hpp"
+#include "rgraph/retiming_graph.hpp"
+#include "sim/observability.hpp"
+#include "timing/constraints.hpp"
+#include "timing/graph_timing.hpp"
+
+namespace serelin::test {
+
+/// x -> a -> b -> ff -> c -> PO : one register, a 3-gate pipeline.
+inline Netlist tiny_pipeline() {
+  NetlistBuilder b("tiny_pipeline");
+  b.input("x");
+  b.gate("a", CellType::kBuf, {"x"});
+  b.gate("b", CellType::kNot, {"a"});
+  b.dff("ff", "b");
+  b.gate("c", CellType::kBuf, {"ff"});
+  b.output("c");
+  return b.build();
+}
+
+/// A two-register ring (modulo counter flavour) exercising feedback:
+///   ff1 -> inv -> ff2 -> buf -> ff1, with a tapped PO.
+inline Netlist tiny_ring() {
+  NetlistBuilder b("tiny_ring");
+  b.input("en");
+  b.dff("ff1", "buf1");
+  b.gate("inv1", CellType::kNot, {"ff1"});
+  b.dff("ff2", "inv1");
+  b.gate("buf1", CellType::kBuf, {"ff2"});
+  b.gate("tap", CellType::kAnd, {"ff1", "en"});
+  b.output("tap");
+  return b.build();
+}
+
+/// Reconvergent combinational block behind a register:
+///   x,y -> g1=AND, g2=OR -> g3=XOR -> ff -> PO.
+inline Netlist tiny_reconvergent() {
+  NetlistBuilder b("tiny_reconvergent");
+  b.input("x");
+  b.input("y");
+  b.gate("g1", CellType::kAnd, {"x", "y"});
+  b.gate("g2", CellType::kOr, {"x", "y"});
+  b.gate("g3", CellType::kXor, {"g1", "g2"});
+  b.dff("ff", "g3");
+  b.gate("out", CellType::kBuf, {"ff"});
+  b.output("out");
+  return b.build();
+}
+
+/// True iff `r` satisfies P0 ∧ P1' ∧ P2' on `g`.
+inline bool feasible(const RetimingGraph& g, const Retiming& r,
+                     const TimingParams& tp, double rmin) {
+  ConstraintChecker checker(g, tp, rmin);
+  GraphTiming t(g, tp);
+  return checker.feasible(r, t);
+}
+
+/// Observability gains for a netlist via signature simulation.
+inline ObsGains gains_for(const RetimingGraph& g, const Netlist& nl,
+                          SimConfig cfg = {}) {
+  ObservabilityAnalyzer analyzer(nl, cfg);
+  const auto obs = analyzer.run();
+  return compute_gains(g, obs.obs, cfg.patterns);
+}
+
+}  // namespace serelin::test

@@ -1,0 +1,162 @@
+#include <gtest/gtest.h>
+
+#include "gen/paper_suite.hpp"
+#include "gen/random_circuit.hpp"
+#include "netlist/bench_io.hpp"
+#include "rgraph/retiming_graph.hpp"
+#include "support/check.hpp"
+
+#include <sstream>
+
+namespace serelin {
+namespace {
+
+TEST(Generator, HitsRequestedCounts) {
+  RandomCircuitSpec spec;
+  spec.gates = 500;
+  spec.dffs = 120;
+  spec.inputs = 12;
+  spec.outputs = 10;
+  spec.seed = 42;
+  const Netlist nl = generate_random_circuit(spec);
+  EXPECT_EQ(nl.gate_count(), 500u);
+  EXPECT_EQ(nl.dff_count(), 120u);
+  EXPECT_EQ(nl.inputs().size(), 12u);
+  EXPECT_GE(nl.outputs().size(), 10u);  // repairs may add POs
+}
+
+TEST(Generator, DeterministicPerSeed) {
+  RandomCircuitSpec spec;
+  spec.gates = 80;
+  spec.dffs = 15;
+  spec.seed = 7;
+  const Netlist a = generate_random_circuit(spec);
+  const Netlist b = generate_random_circuit(spec);
+  ASSERT_EQ(a.node_count(), b.node_count());
+  for (NodeId id = 0; id < a.node_count(); ++id) {
+    EXPECT_EQ(a.node(id).name, b.node(id).name);
+    EXPECT_EQ(a.node(id).type, b.node(id).type);
+    EXPECT_EQ(a.node(id).fanins, b.node(id).fanins);
+  }
+}
+
+TEST(Generator, SeedsDiffer) {
+  RandomCircuitSpec spec;
+  spec.gates = 80;
+  spec.dffs = 15;
+  spec.seed = 7;
+  const Netlist a = generate_random_circuit(spec);
+  spec.seed = 8;
+  const Netlist b = generate_random_circuit(spec);
+  int diff = 0;
+  for (NodeId id = 0; id < a.node_count(); ++id)
+    diff += a.node(id).fanins != b.node(id).fanins;
+  EXPECT_GT(diff, 10);
+}
+
+TEST(Generator, MeanFaninControlsEdges) {
+  RandomCircuitSpec spec;
+  spec.gates = 2000;
+  spec.dffs = 200;
+  spec.seed = 3;
+  spec.mean_fanin = 1.3;
+  const Netlist sparse = generate_random_circuit(spec);
+  spec.mean_fanin = 2.6;
+  const Netlist dense = generate_random_circuit(spec);
+  auto gate_pins = [](const Netlist& nl) {
+    std::size_t pins = 0;
+    for (NodeId id : nl.gate_order()) pins += nl.node(id).fanins.size();
+    return pins;
+  };
+  EXPECT_NEAR(static_cast<double>(gate_pins(sparse)) / 2000, 1.3, 0.12);
+  EXPECT_NEAR(static_cast<double>(gate_pins(dense)) / 2000, 2.6, 0.12);
+}
+
+TEST(Generator, NoDanglingLogic) {
+  RandomCircuitSpec spec;
+  spec.gates = 300;
+  spec.dffs = 60;
+  spec.seed = 11;
+  const Netlist nl = generate_random_circuit(spec);
+  for (NodeId id = 0; id < nl.node_count(); ++id) {
+    const Node& n = nl.node(id);
+    if (n.type == CellType::kInput) continue;  // inputs may be unused
+    EXPECT_TRUE(!n.fanouts.empty() || nl.is_output(id))
+        << n.name << " dangles";
+  }
+}
+
+TEST(Generator, BuildsLegalRetimingGraph) {
+  RandomCircuitSpec spec;
+  spec.gates = 400;
+  spec.dffs = 90;
+  spec.seed = 13;
+  const Netlist nl = generate_random_circuit(spec);
+  CellLibrary lib;
+  EXPECT_NO_THROW({
+    RetimingGraph g(nl, lib);
+    EXPECT_EQ(g.gate_vertices().size(), 400u);
+  });
+}
+
+TEST(Generator, BenchRoundTrip) {
+  RandomCircuitSpec spec;
+  spec.gates = 50;
+  spec.dffs = 10;
+  spec.seed = 17;
+  const Netlist nl = generate_random_circuit(spec);
+  std::ostringstream os;
+  write_bench(os, nl);
+  std::istringstream is(os.str());
+  const Netlist back = read_bench(is, nl.name());
+  EXPECT_EQ(back.gate_count(), nl.gate_count());
+  EXPECT_EQ(back.dff_count(), nl.dff_count());
+  EXPECT_EQ(back.outputs().size(), nl.outputs().size());
+}
+
+TEST(Generator, RejectsBadSpecs) {
+  RandomCircuitSpec spec;
+  spec.gates = 0;
+  EXPECT_THROW(generate_random_circuit(spec), PreconditionError);
+  spec.gates = 10;
+  spec.mean_fanin = 0.5;
+  EXPECT_THROW(generate_random_circuit(spec), PreconditionError);
+}
+
+TEST(PaperSuite, HasAllTableOneRows) {
+  const auto& suite = paper_suite();
+  ASSERT_EQ(suite.size(), 21u);
+  EXPECT_EQ(suite.front().name, "s13207");
+  EXPECT_EQ(suite.back().name, "b22_opt");
+  // Paper averages: ΔSER_ref ≈ -26.7%, ΔSER_new ≈ -32.7%.
+  double ref = 0, nw = 0;
+  for (const auto& c : suite) {
+    ref += c.paper_dser_ref;
+    nw += c.paper_dser_new;
+  }
+  EXPECT_NEAR(ref / 21, -0.267, 0.005);
+  EXPECT_NEAR(nw / 21, -0.327, 0.005);
+}
+
+TEST(PaperSuite, LookupByName) {
+  EXPECT_EQ(suite_circuit("b19").vertices, 224625);
+  EXPECT_EQ(suite_circuit("s38417").dffs, 2806);
+  EXPECT_THROW(suite_circuit("nope"), PreconditionError);
+}
+
+TEST(PaperSuite, GeneratedStatsMatchRow) {
+  const SuiteCircuit& row = suite_circuit("b14_1_opt");
+  const Netlist nl = generate_suite_circuit(row);
+  EXPECT_EQ(nl.gate_count(), static_cast<std::size_t>(row.vertices));
+  EXPECT_EQ(nl.dff_count(), static_cast<std::size_t>(row.dffs));
+  CellLibrary lib;
+  RetimingGraph g(nl, lib);
+  // |E| within 15% of the published count (PO sinks and repairs add a few).
+  const double ratio =
+      static_cast<double>(g.edge_count()) / static_cast<double>(row.edges);
+  EXPECT_GT(ratio, 0.85);
+  EXPECT_LT(ratio, 1.15);
+}
+
+}  // namespace
+}  // namespace serelin

@@ -1,0 +1,141 @@
+// End-to-end pipeline tests: generate -> analyze -> initialize -> optimize
+// -> materialize -> re-analyze, the exact flow of the Table-I harness.
+#include <gtest/gtest.h>
+
+#include "core/initializer.hpp"
+#include "core/objective.hpp"
+#include "core/solver.hpp"
+#include "gen/random_circuit.hpp"
+#include "helpers.hpp"
+#include "rgraph/apply.hpp"
+#include "ser/ser_analyzer.hpp"
+
+namespace serelin {
+namespace {
+
+struct FlowResult {
+  double ser_original = 0.0;
+  double ser_minobs = 0.0;
+  double ser_minobswin = 0.0;
+  std::int64_t ff_original = 0;
+  std::int64_t ff_minobs = 0;
+  std::int64_t ff_minobswin = 0;
+  bool win_exited_early = false;
+};
+
+FlowResult run_flow(std::uint64_t seed, int gates = 300, int dffs = 80) {
+  RandomCircuitSpec spec;
+  spec.gates = gates;
+  spec.dffs = dffs;
+  spec.inputs = 10;
+  spec.outputs = 10;
+  spec.mean_fanin = 2.0;
+  spec.seed = seed;
+  const Netlist nl = generate_random_circuit(spec);
+  CellLibrary lib;
+  RetimingGraph g(nl, lib);
+  const InitResult init = initialize_retiming(g, {});
+
+  SimConfig cfg;
+  cfg.patterns = 512;
+  cfg.frames = 6;
+  cfg.warmup = 12;
+  const ObsGains gains = test::gains_for(g, nl, cfg);
+
+  SolverOptions opt;
+  opt.timing = init.timing;
+  opt.rmin = init.rmin;
+  const SolverResult win = MinObsWinSolver(g, gains, opt).solve(init.r);
+  SolverOptions ref_opt = opt;
+  ref_opt.enforce_elw = false;
+  const SolverResult ref = MinObsWinSolver(g, gains, ref_opt).solve(init.r);
+
+  SerOptions ser;
+  ser.timing = init.timing;
+  ser.sim = cfg;
+
+  FlowResult out;
+  out.win_exited_early = win.exited_early;
+  out.ser_original = analyze_ser(nl, lib, ser).total;
+  const Netlist nl_ref = apply_retiming(g, ref.r, nl.name() + "_minobs");
+  const Netlist nl_win = apply_retiming(g, win.r, nl.name() + "_minobswin");
+  out.ser_minobs = analyze_ser(nl_ref, lib, ser).total;
+  out.ser_minobswin = analyze_ser(nl_win, lib, ser).total;
+  out.ff_original = static_cast<std::int64_t>(nl.dff_count());
+  out.ff_minobs = static_cast<std::int64_t>(nl_ref.dff_count());
+  out.ff_minobswin = static_cast<std::int64_t>(nl_win.dff_count());
+  return out;
+}
+
+TEST(Integration, FullFlowProducesAnalyzableCircuits) {
+  const FlowResult res = run_flow(0xF00D);
+  EXPECT_GT(res.ser_original, 0.0);
+  EXPECT_GT(res.ser_minobs, 0.0);
+  EXPECT_GT(res.ser_minobswin, 0.0);
+  EXPECT_GT(res.ff_original, 0);
+}
+
+TEST(Integration, RegisterCountStaysBounded) {
+  // The paper's Δ#FF column is usually negative (merges at multi-fanin
+  // gates) but can be positive (s38417: +13.6%) — the Eq. (5) objective
+  // weighs observability, not register count, and will split a register
+  // across an unbalanced fanout when the driver is much more observable
+  // than the consumer. Assert the count stays in a sane band and that a
+  // merge-dominated majority of seeds does shrink.
+  int not_worse = 0;
+  for (std::uint64_t seed : {1001ULL, 1002ULL, 1003ULL}) {
+    const FlowResult res = run_flow(seed, 250, 70);
+    EXPECT_LE(res.ff_minobswin, res.ff_original * 2);
+    EXPECT_GT(res.ff_minobswin, 0);
+    if (res.ff_minobswin <= res.ff_original) ++not_worse;
+  }
+  EXPECT_GE(not_worse, 1);
+}
+
+TEST(Integration, MinObsWinControlsSerAtLeastAsWellOnAverage) {
+  // Across a small batch, MinObsWin's re-analyzed SER must not lose to
+  // MinObs on average (the paper's 15% aggregate edge). Individual seeds
+  // may tie (when P2' never binds, both algorithms coincide).
+  double ref_sum = 0.0, win_sum = 0.0, orig_sum = 0.0;
+  for (std::uint64_t seed : {21ULL, 22ULL, 23ULL, 24ULL}) {
+    const FlowResult res = run_flow(seed, 220, 60);
+    ref_sum += res.ser_minobs;
+    win_sum += res.ser_minobswin;
+    orig_sum += res.ser_original;
+  }
+  EXPECT_LE(win_sum, ref_sum * 1.02);
+  // And the optimization should not blow SER up on average.
+  EXPECT_LE(win_sum, orig_sum * 1.10);
+}
+
+TEST(Integration, AppliedNetlistMatchesGraphPrediction) {
+  RandomCircuitSpec spec;
+  spec.gates = 150;
+  spec.dffs = 40;
+  spec.inputs = 8;
+  spec.outputs = 8;
+  spec.seed = 777;
+  const Netlist nl = generate_random_circuit(spec);
+  CellLibrary lib;
+  RetimingGraph g(nl, lib);
+  const InitResult init = initialize_retiming(g, {});
+  SimConfig cfg;
+  cfg.patterns = 256;
+  cfg.frames = 4;
+  const ObsGains gains = test::gains_for(g, nl, cfg);
+  SolverOptions opt;
+  opt.timing = init.timing;
+  opt.rmin = init.rmin;
+  const SolverResult res = MinObsWinSolver(g, gains, opt).solve(init.r);
+  const Netlist out = apply_retiming(g, res.r, "applied");
+  EXPECT_EQ(out.dff_count(),
+            static_cast<std::size_t>(g.shared_register_count(res.r)));
+  EXPECT_EQ(out.gate_count(), nl.gate_count());
+  // The rebuilt circuit is itself a legal retiming-graph input whose
+  // timing meets the same period.
+  RetimingGraph g2(out, lib);
+  EXPECT_TRUE(test::feasible(g2, g2.zero_retiming(), init.timing, 0.0));
+}
+
+}  // namespace
+}  // namespace serelin

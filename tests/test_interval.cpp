@@ -1,0 +1,164 @@
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "interval/interval_set.hpp"
+#include "support/check.hpp"
+#include "support/rng.hpp"
+
+namespace serelin {
+namespace {
+
+TEST(IntervalSet, EmptyBasics) {
+  IntervalSet s;
+  EXPECT_TRUE(s.empty());
+  EXPECT_EQ(s.size(), 0u);
+  EXPECT_DOUBLE_EQ(s.measure(), 0.0);
+  EXPECT_FALSE(s.contains(0.0));
+  EXPECT_THROW(s.left(), PreconditionError);
+  EXPECT_THROW(s.right(), PreconditionError);
+}
+
+TEST(IntervalSet, Singleton) {
+  IntervalSet s(1.0, 3.0);
+  EXPECT_EQ(s.size(), 1u);
+  EXPECT_DOUBLE_EQ(s.measure(), 2.0);
+  EXPECT_DOUBLE_EQ(s.left(), 1.0);
+  EXPECT_DOUBLE_EQ(s.right(), 3.0);
+  EXPECT_TRUE(s.contains(1.0));
+  EXPECT_TRUE(s.contains(2.0));
+  EXPECT_TRUE(s.contains(3.0));
+  EXPECT_FALSE(s.contains(0.999));
+  EXPECT_FALSE(s.contains(3.001));
+}
+
+TEST(IntervalSet, RejectsInvertedBounds) {
+  EXPECT_THROW(IntervalSet(2.0, 1.0), PreconditionError);
+  IntervalSet s;
+  EXPECT_THROW(s.insert(5.0, 4.0), PreconditionError);
+}
+
+TEST(IntervalSet, InsertMergesOverlap) {
+  IntervalSet s(0.0, 2.0);
+  s.insert(1.0, 4.0);
+  EXPECT_EQ(s.size(), 1u);
+  EXPECT_DOUBLE_EQ(s.measure(), 4.0);
+}
+
+TEST(IntervalSet, InsertMergesTouching) {
+  IntervalSet s(0.0, 2.0);
+  s.insert(2.0, 3.0);
+  EXPECT_EQ(s.size(), 1u);
+  EXPECT_DOUBLE_EQ(s.measure(), 3.0);
+}
+
+TEST(IntervalSet, InsertKeepsDisjoint) {
+  IntervalSet s(0.0, 1.0);
+  s.insert(2.0, 3.0);
+  EXPECT_EQ(s.size(), 2u);
+  EXPECT_DOUBLE_EQ(s.measure(), 2.0);
+  EXPECT_FALSE(s.contains(1.5));
+}
+
+TEST(IntervalSet, PointIntervals) {
+  IntervalSet s(1.0, 1.0);
+  EXPECT_DOUBLE_EQ(s.measure(), 0.0);
+  EXPECT_TRUE(s.contains(1.0));
+  s.insert(1.0, 2.0);
+  EXPECT_EQ(s.size(), 1u);
+}
+
+TEST(IntervalSet, ConstructorNormalizesArbitraryInput) {
+  std::vector<Interval> raw{{3, 4}, {0, 1}, {0.5, 3.5}};
+  IntervalSet s(raw);
+  EXPECT_EQ(s.size(), 1u);
+  EXPECT_DOUBLE_EQ(s.left(), 0.0);
+  EXPECT_DOUBLE_EQ(s.right(), 4.0);
+}
+
+TEST(IntervalSet, UniteIsUnion) {
+  IntervalSet a(0.0, 1.0);
+  IntervalSet b(0.5, 2.0);
+  b.insert(5.0, 6.0);
+  a.unite(b);
+  EXPECT_EQ(a.size(), 2u);
+  EXPECT_DOUBLE_EQ(a.measure(), 3.0);
+}
+
+TEST(IntervalSet, ShiftPreservesMeasure) {
+  IntervalSet s(0.0, 1.0);
+  s.insert(2.0, 4.0);
+  const IntervalSet t = s.shifted(-2.5);
+  EXPECT_EQ(t.size(), 2u);
+  EXPECT_DOUBLE_EQ(t.measure(), s.measure());
+  EXPECT_DOUBLE_EQ(t.left(), -2.5);
+  EXPECT_DOUBLE_EQ(t.right(), 1.5);
+}
+
+TEST(IntervalSet, ClampIntersects) {
+  IntervalSet s(0.0, 10.0);
+  s.insert(20.0, 30.0);
+  const IntervalSet c = s.clamped(5.0, 25.0);
+  EXPECT_EQ(c.size(), 2u);
+  EXPECT_DOUBLE_EQ(c.measure(), 10.0);
+  EXPECT_DOUBLE_EQ(c.left(), 5.0);
+  EXPECT_DOUBLE_EQ(c.right(), 25.0);
+}
+
+TEST(IntervalSet, ClampToEmpty) {
+  IntervalSet s(0.0, 1.0);
+  EXPECT_TRUE(s.clamped(2.0, 3.0).empty());
+}
+
+TEST(IntervalSet, EqualityIsStructural) {
+  IntervalSet a(0.0, 1.0);
+  a.insert(1.0, 2.0);
+  IntervalSet b(0.0, 2.0);
+  EXPECT_EQ(a, b);
+}
+
+TEST(IntervalSet, StreamFormat) {
+  IntervalSet s(0.0, 1.0);
+  s.insert(3.0, 4.0);
+  std::ostringstream os;
+  os << s;
+  EXPECT_EQ(os.str(), "[0,1] U [3,4]");
+  std::ostringstream empty;
+  empty << IntervalSet{};
+  EXPECT_EQ(empty.str(), "{}");
+}
+
+// Property sweep: random inserts keep the set sorted, disjoint and with
+// measure equal to a brute-force grid count.
+class IntervalSetProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(IntervalSetProperty, NormalizationInvariants) {
+  Rng rng(GetParam());
+  IntervalSet s;
+  for (int i = 0; i < 40; ++i) {
+    const double lo = rng.uniform() * 100.0;
+    const double len = rng.uniform() * 10.0;
+    s.insert(lo, lo + len);
+  }
+  const auto& parts = s.parts();
+  for (std::size_t i = 0; i < parts.size(); ++i) {
+    EXPECT_LE(parts[i].lo, parts[i].hi);
+    if (i > 0) {
+      EXPECT_GT(parts[i].lo, parts[i - 1].hi);  // strictly apart
+    }
+  }
+  // Brute-force measure on a fine grid (interval arithmetic sanity).
+  const int kGrid = 22000;
+  int inside = 0;
+  for (int i = 0; i < kGrid; ++i) {
+    const double x = 110.0 * i / kGrid;
+    inside += s.contains(x);
+  }
+  EXPECT_NEAR(inside * 110.0 / kGrid, s.measure(), 0.5);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, IntervalSetProperty,
+                         ::testing::Range(1, 13));
+
+}  // namespace
+}  // namespace serelin

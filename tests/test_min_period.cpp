@@ -1,0 +1,119 @@
+#include <gtest/gtest.h>
+
+#include "core/min_period.hpp"
+#include "gen/random_circuit.hpp"
+#include "helpers.hpp"
+#include "netlist/builder.hpp"
+#include "timing/graph_timing.hpp"
+
+namespace serelin {
+namespace {
+
+double critical_path(const RetimingGraph& g, const Retiming& r) {
+  GraphTiming t(g, {0.0, 0.0, 0.0});
+  t.compute(r);
+  double worst = 0.0;
+  for (VertexId v = 0; v < g.vertex_count(); ++v)
+    worst = std::max(worst, t.arrival(v));
+  return worst;
+}
+
+TEST(MinPeriod, BalancesAPipeline) {
+  // Six unit-delay gates, one register at the end of the chain, ring-closed
+  // through a register so the register can actually move into the chain:
+  //   ff -> g1..g6 -> ff. Optimal period with 1 register in a 6-delay loop
+  // is 6; with the second register... build a loop with 2 registers so the
+  // optimum is 3.
+  NetlistBuilder nb("loop6");
+  nb.input("x");
+  nb.dff("s1", "g6");
+  nb.dff("s2", "s1");
+  nb.gate("g1", CellType::kBuf, {"s2"});
+  nb.gate("g2", CellType::kBuf, {"g1"});
+  nb.gate("g3", CellType::kBuf, {"g2"});
+  nb.gate("g4", CellType::kBuf, {"g3"});
+  nb.gate("g5", CellType::kBuf, {"g4"});
+  nb.gate("g6", CellType::kXor, {"g5", "x"});
+  nb.output("s2");  // tap the PO behind the registers so they may migrate
+  const Netlist nl = nb.build();
+  CellLibrary lib;
+  RetimingGraph g(nl, lib);
+
+  MinPeriodRetimer retimer(g, {});
+  const auto res = retimer.minimize();
+  ASSERT_TRUE(g.valid(res.r));
+  // 6 units of delay over 2 registers: 3 is the floor; the PO path from
+  // the loop tap may force slightly more — accept [3, 4].
+  EXPECT_LE(critical_path(g, res.r), res.period + 1e-6);
+  EXPECT_GE(res.period, 3.0 - 1e-6);
+  EXPECT_LE(res.period, 4.0 + 0.01);  // binary-search tolerance
+  // And it must beat the unretimed circuit (period 6 + PO tail).
+  EXPECT_LT(res.period, critical_path(g, g.zero_retiming()) - 1.0);
+}
+
+TEST(MinPeriod, FeasibilityMonotoneInPeriod) {
+  const Netlist nl = test::tiny_ring();
+  CellLibrary lib;
+  RetimingGraph g(nl, lib);
+  MinPeriodRetimer retimer(g, {});
+  const auto best = retimer.minimize();
+  EXPECT_TRUE(retimer.retime_for_period(best.period, g.zero_retiming())
+                  .has_value());
+  EXPECT_TRUE(retimer.retime_for_period(best.period * 2, g.zero_retiming())
+                  .has_value());
+  EXPECT_FALSE(
+      retimer.retime_for_period(best.period * 0.49, g.zero_retiming())
+          .has_value());
+}
+
+TEST(MinPeriod, RespectsSetupTime) {
+  const Netlist nl = test::tiny_pipeline();
+  CellLibrary lib;
+  RetimingGraph g(nl, lib);
+  MinPeriodRetimer::Options opt;
+  opt.setup = 1.5;
+  MinPeriodRetimer retimer(g, opt);
+  const auto res = retimer.minimize();
+  // Longest stage delay plus setup bounds the period from below.
+  EXPECT_GE(res.period, 1.0 + 1.5 - 1e-6);
+  GraphTiming t(g, {res.period, opt.setup, 0.0});
+  t.compute(res.r);
+  for (VertexId v = 0; v < g.vertex_count(); ++v)
+    EXPECT_LE(t.arrival(v), res.period - opt.setup + 1e-6);
+}
+
+TEST(MinPeriod, PurePipelineCannotImprove) {
+  // x -> a -> b -> ff -> c -> PO: the PI-to-register and register-to-PO
+  // paths pin the period at 2 (registers cannot cross the boundary).
+  const Netlist nl = test::tiny_pipeline();
+  CellLibrary lib;
+  RetimingGraph g(nl, lib);
+  MinPeriodRetimer retimer(g, {});
+  const auto res = retimer.minimize();
+  EXPECT_NEAR(res.period, 2.0, 0.01);
+}
+
+class MinPeriodProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(MinPeriodProperty, ResultIsValidAndMeetsPeriod) {
+  RandomCircuitSpec spec;
+  spec.gates = 150;
+  spec.dffs = 35;
+  spec.inputs = 6;
+  spec.outputs = 6;
+  spec.mean_fanin = 1.9;
+  spec.seed = static_cast<std::uint64_t>(GetParam()) * 2654435761u;
+  const Netlist nl = generate_random_circuit(spec);
+  CellLibrary lib;
+  RetimingGraph g(nl, lib);
+  MinPeriodRetimer retimer(g, {});
+  const auto res = retimer.minimize();
+  ASSERT_TRUE(g.valid(res.r));
+  EXPECT_LE(critical_path(g, res.r), res.period + 1e-6);
+  EXPECT_LE(res.period, critical_path(g, g.zero_retiming()) + 1e-6);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, MinPeriodProperty, ::testing::Range(1, 9));
+
+}  // namespace
+}  // namespace serelin

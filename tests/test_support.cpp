@@ -1,0 +1,140 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "support/check.hpp"
+#include "support/rng.hpp"
+#include "support/strings.hpp"
+#include "support/table.hpp"
+
+namespace serelin {
+namespace {
+
+TEST(Rng, DeterministicForSeed) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) same += (a.next() == b.next());
+  EXPECT_LT(same, 2);
+}
+
+TEST(Rng, BelowStaysInRange) {
+  Rng rng(7);
+  for (std::uint64_t bound : {1ULL, 2ULL, 3ULL, 10ULL, 1000ULL}) {
+    for (int i = 0; i < 200; ++i) EXPECT_LT(rng.below(bound), bound);
+  }
+}
+
+TEST(Rng, BelowOneIsAlwaysZero) {
+  Rng rng(7);
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(rng.below(1), 0u);
+}
+
+TEST(Rng, RangeInclusive) {
+  Rng rng(9);
+  std::set<std::int64_t> seen;
+  for (int i = 0; i < 500; ++i) {
+    const auto v = rng.range(-2, 2);
+    EXPECT_GE(v, -2);
+    EXPECT_LE(v, 2);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 5u);  // all five values hit
+}
+
+TEST(Rng, UniformInUnitInterval) {
+  Rng rng(11);
+  double sum = 0;
+  for (int i = 0; i < 4000; ++i) {
+    const double u = rng.uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+    sum += u;
+  }
+  EXPECT_NEAR(sum / 4000, 0.5, 0.03);
+}
+
+TEST(Rng, ChanceExtremes) {
+  Rng rng(13);
+  for (int i = 0; i < 50; ++i) {
+    EXPECT_FALSE(rng.chance(0.0));
+    EXPECT_TRUE(rng.chance(1.0));
+  }
+}
+
+TEST(Rng, RejectsZeroBound) {
+  Rng rng(1);
+  EXPECT_THROW(rng.below(0), PreconditionError);
+}
+
+TEST(Strings, Trim) {
+  EXPECT_EQ(trim("  abc  "), "abc");
+  EXPECT_EQ(trim("abc"), "abc");
+  EXPECT_EQ(trim("   "), "");
+  EXPECT_EQ(trim(""), "");
+  EXPECT_EQ(trim("\t a b \n"), "a b");
+}
+
+TEST(Strings, SplitDropsEmptyPieces) {
+  const auto parts = split("a,,b, c", ", ");
+  ASSERT_EQ(parts.size(), 3u);
+  EXPECT_EQ(parts[0], "a");
+  EXPECT_EQ(parts[1], "b");
+  EXPECT_EQ(parts[2], "c");
+}
+
+TEST(Strings, SplitEmptyInput) { EXPECT_TRUE(split("", ",").empty()); }
+
+TEST(Strings, ToUpper) {
+  EXPECT_EQ(to_upper("nAnD"), "NAND");
+  EXPECT_EQ(to_upper(""), "");
+}
+
+TEST(Strings, StartsWith) {
+  EXPECT_TRUE(starts_with("INPUT(x)", "INPUT"));
+  EXPECT_FALSE(starts_with("IN", "INPUT"));
+}
+
+TEST(Table, AlignsColumns) {
+  TextTable t({"name", "v"});
+  t.add_row({"x", "10"});
+  t.add_row({"longer", "7"});
+  const std::string s = t.str();
+  EXPECT_NE(s.find("| name   | v  |"), std::string::npos);
+  EXPECT_NE(s.find("| longer | 7  |"), std::string::npos);
+}
+
+TEST(Table, RejectsArityMismatch) {
+  TextTable t({"a", "b"});
+  EXPECT_THROW(t.add_row({"only-one"}), PreconditionError);
+}
+
+TEST(Table, Formatters) {
+  EXPECT_EQ(fmt_fixed(1.2345, 2), "1.23");
+  EXPECT_EQ(fmt_percent(-0.327), "-32.70%");
+  EXPECT_EQ(fmt_sci(7.72e-3), "7.72E-03");
+}
+
+TEST(Check, AssertAndRequireThrowTypedErrors) {
+  EXPECT_THROW(SERELIN_ASSERT(false, "boom"), AssertionError);
+  EXPECT_THROW(SERELIN_REQUIRE(false, "bad call"), PreconditionError);
+  EXPECT_NO_THROW(SERELIN_ASSERT(true, ""));
+  EXPECT_NO_THROW(SERELIN_REQUIRE(true, ""));
+}
+
+TEST(Check, MessagesCarryContext) {
+  try {
+    SERELIN_REQUIRE(1 == 2, "custom context");
+    FAIL() << "should have thrown";
+  } catch (const PreconditionError& e) {
+    EXPECT_NE(std::string(e.what()).find("custom context"), std::string::npos);
+    EXPECT_NE(std::string(e.what()).find("1 == 2"), std::string::npos);
+  }
+}
+
+}  // namespace
+}  // namespace serelin

@@ -1,0 +1,181 @@
+#include <gtest/gtest.h>
+
+#include "helpers.hpp"
+#include "netlist/builder.hpp"
+#include "rgraph/retiming_graph.hpp"
+#include "timing/constraints.hpp"
+#include "timing/graph_timing.hpp"
+
+namespace serelin {
+namespace {
+
+class PipelineTiming : public ::testing::Test {
+ protected:
+  PipelineTiming()
+      : nl_(test::tiny_pipeline()), g_(nl_, lib_), r_(g_.zero_retiming()) {}
+
+  VertexId v(const char* name) const { return g_.vertex_of(nl_.find(name)); }
+
+  CellLibrary lib_;
+  Netlist nl_;
+  RetimingGraph g_;
+  Retiming r_;
+};
+
+TEST_F(PipelineTiming, ArrivalTimes) {
+  GraphTiming t(g_, {10.0, 0.0, 2.0});
+  t.compute(r_);
+  EXPECT_DOUBLE_EQ(t.arrival(v("x")), 0.0);
+  EXPECT_DOUBLE_EQ(t.arrival(v("a")), 1.0);
+  EXPECT_DOUBLE_EQ(t.arrival(v("b")), 2.0);
+  EXPECT_DOUBLE_EQ(t.arrival(v("c")), 1.0);  // register resets the path
+}
+
+TEST_F(PipelineTiming, MaxMinAfterAndLabels) {
+  GraphTiming t(g_, {10.0, 0.0, 2.0});
+  t.compute(r_);
+  EXPECT_DOUBLE_EQ(t.max_after(v("c")), 0.0);  // drives the PO directly
+  EXPECT_DOUBLE_EQ(t.max_after(v("b")), 0.0);  // register on its out-edge
+  EXPECT_DOUBLE_EQ(t.max_after(v("a")), 1.0);  // through b to the register
+  EXPECT_DOUBLE_EQ(t.max_after(v("x")), 2.0);
+  EXPECT_DOUBLE_EQ(t.min_after(v("a")), 1.0);
+  EXPECT_DOUBLE_EQ(t.L(v("a")), 10.0 - 1.0);
+  EXPECT_DOUBLE_EQ(t.R(v("a")), 12.0 - 1.0);
+}
+
+TEST_F(PipelineTiming, CriticalWitnesses) {
+  GraphTiming t(g_, {10.0, 0.0, 2.0});
+  t.compute(r_);
+  // The critical (only) path from a ends at b, whose out-edge holds the
+  // register; from x likewise.
+  EXPECT_EQ(t.lt(v("a")), v("b"));
+  EXPECT_EQ(t.lt(v("x")), v("b"));
+  EXPECT_EQ(t.rt(v("a")), v("b"));
+  // b's own boundary is its registered out-edge.
+  EXPECT_EQ(t.lt(v("b")), v("b"));
+  const EdgeId be = t.crit_min_edge(v("a"));
+  ASSERT_NE(be, kNullEdge);
+  EXPECT_EQ(g_.edge(be).from, v("b"));
+  EXPECT_EQ(g_.edge(be).to, v("c"));
+}
+
+TEST_F(PipelineTiming, RetimingChangesLabels) {
+  Retiming r = r_;
+  r[v("c")] = -1;  // register moves past c
+  GraphTiming t(g_, {10.0, 0.0, 2.0});
+  t.compute(r);
+  EXPECT_DOUBLE_EQ(t.arrival(v("c")), 3.0);  // now fed combinationally
+  EXPECT_DOUBLE_EQ(t.max_after(v("b")), 1.0);  // through c to the register
+  EXPECT_DOUBLE_EQ(t.max_after(v("a")), 2.0);
+}
+
+TEST_F(PipelineTiming, NoViolationsAtRelaxedPeriod) {
+  ConstraintChecker checker(g_, {10.0, 0.0, 2.0}, 0.0);
+  GraphTiming t(g_, {10.0, 0.0, 2.0});
+  EXPECT_TRUE(checker.feasible(r_, t));
+}
+
+TEST_F(PipelineTiming, P1ViolationWitness) {
+  const TimingParams tp{1.5, 0.0, 2.0};
+  ConstraintChecker checker(g_, tp, 0.0);
+  GraphTiming t(g_, tp);
+  t.compute(r_);
+  const auto viol = checker.find_violation(r_, t);
+  ASSERT_TRUE(viol.has_value());
+  EXPECT_EQ(viol->kind, ConstraintKind::kP1);
+  EXPECT_EQ(viol->p, v("b"));  // lt of the violated vertex
+  EXPECT_EQ(viol->w, 1);
+}
+
+TEST_F(PipelineTiming, P0ViolationWitness) {
+  Retiming r = r_;
+  r[v("c")] = -2;  // drains b->c below zero
+  const TimingParams tp{10.0, 0.0, 2.0};
+  ConstraintChecker checker(g_, tp, 0.0);
+  GraphTiming t(g_, tp);
+  t.compute(r);
+  const auto viol = checker.find_violation(r, t);
+  ASSERT_TRUE(viol.has_value());
+  EXPECT_EQ(viol->kind, ConstraintKind::kP0);
+  EXPECT_EQ(viol->p, v("c"));
+  EXPECT_EQ(viol->q, v("b"));
+  EXPECT_EQ(viol->w, 1);
+}
+
+TEST_F(PipelineTiming, P2ViolationBlocksAtSink) {
+  // Short path from the register (through c, 1 unit) is below rmin = 2,
+  // and the critical short path ends at the primary output: unfixable.
+  const TimingParams tp{10.0, 0.0, 2.0};
+  ConstraintChecker checker(g_, tp, 2.0);
+  GraphTiming t(g_, tp);
+  t.compute(r_);
+  const auto viol = checker.find_violation(r_, t);
+  ASSERT_TRUE(viol.has_value());
+  EXPECT_EQ(viol->kind, ConstraintKind::kP2);
+  EXPECT_EQ(viol->p, v("b"));
+  EXPECT_EQ(g_.vertex(viol->q).kind, VertexKind::kSink);
+}
+
+TEST_F(PipelineTiming, P2SatisfiedAtLooseRmin) {
+  const TimingParams tp{10.0, 0.0, 2.0};
+  ConstraintChecker checker(g_, tp, 1.0);  // short path == 1 >= 1
+  GraphTiming t(g_, tp);
+  EXPECT_TRUE(checker.feasible(r_, t));
+}
+
+TEST(GraphTimingRing, FeedbackCycleLabels) {
+  const Netlist nl = test::tiny_ring();
+  CellLibrary lib;
+  RetimingGraph g(nl, lib);
+  GraphTiming t(g, {10.0, 0.0, 2.0});
+  t.compute(g.zero_retiming());
+  const VertexId inv1 = g.vertex_of(nl.find("inv1"));
+  const VertexId buf1 = g.vertex_of(nl.find("buf1"));
+  // Every gate in the ring is register-bounded on both sides.
+  EXPECT_DOUBLE_EQ(t.max_after(inv1), 0.0);
+  EXPECT_DOUBLE_EQ(t.max_after(buf1), 0.0);
+  EXPECT_DOUBLE_EQ(t.arrival(inv1), 1.0);
+}
+
+TEST(GraphTimingRing, P2FixWitnessMovesRegistersPastHead) {
+  // Ring with rmin = 2: inv1 (delay 1) alone between registers is short.
+  const Netlist nl = test::tiny_ring();
+  CellLibrary lib;
+  RetimingGraph g(nl, lib);
+  const TimingParams tp{10.0, 0.0, 2.0};
+  ConstraintChecker checker(g, tp, 2.0);
+  GraphTiming t(g, tp);
+  t.compute(g.zero_retiming());
+  const auto viol = checker.find_violation(g.zero_retiming(), t);
+  ASSERT_TRUE(viol.has_value());
+  EXPECT_EQ(viol->kind, ConstraintKind::kP2);
+  EXPECT_TRUE(g.movable(viol->q) ||
+              g.vertex(viol->q).kind == VertexKind::kSink);
+}
+
+TEST(GraphTimingMulti, ParallelPathsSpread) {
+  // b branches: a short hop to a register and a long 3-gate path.
+  NetlistBuilder nb("spread");
+  nb.input("x");
+  nb.gate("b", CellType::kBuf, {"x"});
+  nb.dff("d0", "b");
+  nb.gate("p1", CellType::kBuf, {"b"});
+  nb.gate("p2", CellType::kBuf, {"p1"});
+  nb.gate("p3", CellType::kBuf, {"p2"});
+  nb.dff("d1", "p3");
+  nb.gate("o", CellType::kAnd, {"d0", "d1"});
+  nb.output("o");
+  const Netlist nl = nb.build();
+  CellLibrary lib;
+  RetimingGraph g(nl, lib);
+  GraphTiming t(g, {10.0, 0.0, 2.0});
+  t.compute(g.zero_retiming());
+  const VertexId b = g.vertex_of(nl.find("b"));
+  EXPECT_DOUBLE_EQ(t.min_after(b), 0.0);  // direct register
+  EXPECT_DOUBLE_EQ(t.max_after(b), 3.0);  // p1..p3 then register
+  // R - L = (hold + setup) + spread = 2 + 3.
+  EXPECT_DOUBLE_EQ(t.R(b) - t.L(b), 5.0);
+}
+
+}  // namespace
+}  // namespace serelin

@@ -1,0 +1,248 @@
+// serelin_cli — the command-line front end to the library.
+//
+//   serelin_cli stats    <circuit>
+//   serelin_cli analyze  <circuit> [options]
+//   serelin_cli retime   <in> <out> [--algorithm minobswin|minobs|minarea]
+//                                   [options]
+//   serelin_cli convert  <in> <out>
+//   serelin_cli generate (<gates> <dffs> | --suite <name>) <out>
+//
+// Circuit formats are chosen by extension: .bench (ISCAS89) or .blif.
+// Common options:
+//   --period <phi>     clock period (default: Section-V choice)
+//   --rmin <r>         P2' short-path bound (default: Section-V choice)
+//   --patterns <K>     simulation patterns (default 2048)
+//   --frames <n>       time-frame expansion depth (default 15)
+//   --area-weight <w>  §VII area-augmented objective (default 0)
+//   --seed <s>         generator seed
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "core/min_area.hpp"
+#include "flow/experiment.hpp"
+#include "gen/paper_suite.hpp"
+#include "gen/random_circuit.hpp"
+#include "netlist/bench_io.hpp"
+#include "netlist/blif_io.hpp"
+#include "rgraph/apply.hpp"
+#include "ser/ser_analyzer.hpp"
+#include "support/check.hpp"
+#include "support/table.hpp"
+
+namespace {
+
+using namespace serelin;
+
+[[noreturn]] void usage(const char* msg = nullptr) {
+  if (msg) std::fprintf(stderr, "error: %s\n\n", msg);
+  std::fprintf(stderr,
+               "usage: serelin_cli <command> ...\n"
+               "  stats    <circuit>\n"
+               "  analyze  <circuit> [--period P] [--patterns K] "
+               "[--frames n]\n"
+               "  retime   <in> <out> [--algorithm minobswin|minobs|"
+               "minarea]\n"
+               "           [--period P] [--rmin R] [--patterns K] "
+               "[--frames n] [--area-weight w]\n"
+               "  convert  <in> <out>\n"
+               "  generate <gates> <dffs> <out> [--seed s]\n"
+               "  generate --suite <name> <out>\n"
+               "circuit formats by extension: .bench, .blif\n");
+  std::exit(2);
+}
+
+bool ends_with(const std::string& s, const char* suffix) {
+  const std::size_t n = std::strlen(suffix);
+  return s.size() >= n && s.compare(s.size() - n, n, suffix) == 0;
+}
+
+Netlist read_any(const std::string& path) {
+  if (ends_with(path, ".blif")) return read_blif_file(path);
+  if (ends_with(path, ".bench")) return read_bench_file(path);
+  usage("unknown circuit extension (want .bench or .blif)");
+}
+
+void write_any(const std::string& path, const Netlist& nl) {
+  if (ends_with(path, ".blif")) return write_blif_file(path, nl);
+  if (ends_with(path, ".bench")) return write_bench_file(path, nl);
+  usage("unknown circuit extension (want .bench or .blif)");
+}
+
+struct Options {
+  double period = 0.0;      // 0 = Section-V choice
+  double rmin = -1.0;       // <0 = Section-V choice
+  int patterns = 2048;
+  int frames = 15;
+  double area_weight = 0.0;
+  std::uint64_t seed = 1;
+  std::string algorithm = "minobswin";
+  std::string suite;
+  std::vector<std::string> positional;
+};
+
+Options parse(int argc, char** argv, int first) {
+  Options opt;
+  for (int i = first; i < argc; ++i) {
+    const std::string a = argv[i];
+    auto value = [&]() -> const char* {
+      if (i + 1 >= argc) usage(("missing value for " + a).c_str());
+      return argv[++i];
+    };
+    if (a == "--period") opt.period = std::atof(value());
+    else if (a == "--rmin") opt.rmin = std::atof(value());
+    else if (a == "--patterns") opt.patterns = std::atoi(value());
+    else if (a == "--frames") opt.frames = std::atoi(value());
+    else if (a == "--area-weight") opt.area_weight = std::atof(value());
+    else if (a == "--seed") opt.seed = std::strtoull(value(), nullptr, 10);
+    else if (a == "--algorithm") opt.algorithm = value();
+    else if (a == "--suite") opt.suite = value();
+    else if (a.rfind("--", 0) == 0) usage(("unknown option " + a).c_str());
+    else opt.positional.push_back(a);
+  }
+  return opt;
+}
+
+int cmd_stats(const Options& opt) {
+  if (opt.positional.size() != 1) usage("stats needs one circuit");
+  const Netlist nl = read_any(opt.positional[0]);
+  CellLibrary lib;
+  RetimingGraph g(nl, lib);
+  std::map<CellType, int> by_type;
+  for (NodeId id = 0; id < nl.node_count(); ++id) ++by_type[nl.node(id).type];
+  std::printf("%s: %zu nodes\n", nl.name().c_str(), nl.node_count());
+  std::printf("  gates %zu, flip-flops %zu, inputs %zu, outputs %zu\n",
+              nl.gate_count(), nl.dff_count(), nl.inputs().size(),
+              nl.outputs().size());
+  std::printf("  retiming graph: |V| = %zu, |E| = %zu\n",
+              g.vertex_count(), g.edge_count());
+  std::printf("  total area: %.1f\n", nl.total_area(lib));
+  for (const auto& [type, count] : by_type)
+    std::printf("  %-6s %d\n", std::string(cell_type_name(type)).c_str(),
+                count);
+  return 0;
+}
+
+int cmd_analyze(const Options& opt) {
+  if (opt.positional.size() != 1) usage("analyze needs one circuit");
+  const Netlist nl = read_any(opt.positional[0]);
+  CellLibrary lib;
+  RetimingGraph g(nl, lib);
+  double period = opt.period;
+  if (period <= 0) {
+    period = initialize_retiming(g, {}).timing.period;
+    std::printf("(using Section-V period %.1f)\n", period);
+  }
+  SerOptions ser;
+  ser.timing = {period, 0.0, 2.0};
+  ser.sim.patterns = opt.patterns;
+  ser.sim.frames = opt.frames;
+  const SerReport rep = analyze_ser(nl, lib, ser);
+  std::printf("SER(C_S, n=%d) = %s (comb %s + seq %s) at Phi = %.1f\n",
+              opt.frames, fmt_sci(rep.total).c_str(),
+              fmt_sci(rep.combinational).c_str(),
+              fmt_sci(rep.sequential).c_str(), period);
+  return 0;
+}
+
+int cmd_retime(const Options& opt) {
+  if (opt.positional.size() != 2) usage("retime needs <in> <out>");
+  const Netlist nl = read_any(opt.positional[0]);
+  CellLibrary lib;
+  RetimingGraph g(nl, lib);
+  const InitResult init = initialize_retiming(g, {});
+  TimingParams timing = init.timing;
+  if (opt.period > 0) timing.period = opt.period;
+  const double rmin = opt.rmin >= 0 ? opt.rmin : init.rmin;
+
+  SolverResult result;
+  if (opt.algorithm == "minarea") {
+    const MinAreaResult area = min_area_retime(g, timing, init.r, rmin);
+    result = area.solver;
+    std::printf("min-area: register positions %lld -> %lld\n",
+                static_cast<long long>(area.positions_before),
+                static_cast<long long>(area.positions_after));
+  } else if (opt.algorithm == "minobs" || opt.algorithm == "minobswin") {
+    SimConfig sim;
+    sim.patterns = opt.patterns;
+    sim.frames = opt.frames;
+    ObservabilityAnalyzer obs(nl, sim);
+    const ObsGains gains =
+        compute_gains(g, obs.run().obs, sim.patterns, opt.area_weight);
+    SolverOptions so;
+    so.timing = timing;
+    so.rmin = rmin;
+    so.enforce_elw = opt.algorithm == "minobswin";
+    result = MinObsWinSolver(g, gains, so).solve(init.r);
+    std::printf("%s: K-scaled observability gain %lld, %d commits%s\n",
+                opt.algorithm.c_str(),
+                static_cast<long long>(result.objective_gain),
+                result.commits,
+                result.exited_early ? " [early exit]" : "");
+  } else {
+    usage("unknown --algorithm");
+  }
+
+  const Netlist out = apply_retiming(g, result.r, nl.name() + "_rt");
+  write_any(opt.positional[1], out);
+  std::printf("flip-flops %zu -> %zu; wrote %s\n", nl.dff_count(),
+              out.dff_count(), opt.positional[1].c_str());
+  return 0;
+}
+
+int cmd_convert(const Options& opt) {
+  if (opt.positional.size() != 2) usage("convert needs <in> <out>");
+  const Netlist nl = read_any(opt.positional[0]);
+  write_any(opt.positional[1], nl);
+  std::printf("converted %s -> %s (%zu nodes)\n",
+              opt.positional[0].c_str(), opt.positional[1].c_str(),
+              nl.node_count());
+  return 0;
+}
+
+int cmd_generate(const Options& opt) {
+  if (!opt.suite.empty()) {
+    if (opt.positional.size() != 1) usage("generate --suite <name> <out>");
+    const Netlist nl = generate_suite_circuit(suite_circuit(opt.suite));
+    write_any(opt.positional.back(), nl);
+    std::printf("wrote %s (%zu gates, %zu FFs)\n",
+                opt.positional.back().c_str(), nl.gate_count(),
+                nl.dff_count());
+    return 0;
+  }
+  if (opt.positional.size() != 3) usage("generate <gates> <dffs> <out>");
+  RandomCircuitSpec spec;
+  spec.gates = std::atoi(opt.positional[0].c_str());
+  spec.dffs = std::atoi(opt.positional[1].c_str());
+  spec.inputs = 16;
+  spec.outputs = 16;
+  spec.name = "rand" + opt.positional[0];
+  spec.seed = opt.seed;
+  const Netlist nl = generate_random_circuit(spec);
+  write_any(opt.positional[2], nl);
+  std::printf("wrote %s (%zu gates, %zu FFs)\n", opt.positional[2].c_str(),
+              nl.gate_count(), nl.dff_count());
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) usage();
+  const std::string cmd = argv[1];
+  try {
+    Options opt = parse(argc, argv, 2);
+    if (cmd == "stats") return cmd_stats(opt);
+    if (cmd == "analyze") return cmd_analyze(opt);
+    if (cmd == "retime") return cmd_retime(opt);
+    if (cmd == "convert") return cmd_convert(opt);
+    if (cmd == "generate") return cmd_generate(opt);
+    usage(("unknown command '" + cmd + "'").c_str());
+  } catch (const Error& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+}
