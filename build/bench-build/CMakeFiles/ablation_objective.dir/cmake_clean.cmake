@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_objective"
+  "../bench/ablation_objective.pdb"
+  "CMakeFiles/ablation_objective.dir/ablation_objective.cpp.o"
+  "CMakeFiles/ablation_objective.dir/ablation_objective.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_objective.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_rmin"
+  "../bench/ablation_rmin.pdb"
+  "CMakeFiles/ablation_rmin.dir/ablation_rmin.cpp.o"
+  "CMakeFiles/ablation_rmin.dir/ablation_rmin.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_rmin.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

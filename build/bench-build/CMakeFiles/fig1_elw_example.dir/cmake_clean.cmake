@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig1_elw_example"
+  "../bench/fig1_elw_example.pdb"
+  "CMakeFiles/fig1_elw_example.dir/fig1_elw_example.cpp.o"
+  "CMakeFiles/fig1_elw_example.dir/fig1_elw_example.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig1_elw_example.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

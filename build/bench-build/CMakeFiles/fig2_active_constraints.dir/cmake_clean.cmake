@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig2_active_constraints"
+  "../bench/fig2_active_constraints.pdb"
+  "CMakeFiles/fig2_active_constraints.dir/fig2_active_constraints.cpp.o"
+  "CMakeFiles/fig2_active_constraints.dir/fig2_active_constraints.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig2_active_constraints.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig3_breaktree"
+  "../bench/fig3_breaktree.pdb"
+  "CMakeFiles/fig3_breaktree.dir/fig3_breaktree.cpp.o"
+  "CMakeFiles/fig3_breaktree.dir/fig3_breaktree.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig3_breaktree.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

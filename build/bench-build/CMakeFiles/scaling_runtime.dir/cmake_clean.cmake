@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/scaling_runtime"
+  "../bench/scaling_runtime.pdb"
+  "CMakeFiles/scaling_runtime.dir/scaling_runtime.cpp.o"
+  "CMakeFiles/scaling_runtime.dir/scaling_runtime.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/scaling_runtime.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

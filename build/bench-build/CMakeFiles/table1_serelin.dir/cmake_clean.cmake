@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/table1_serelin"
+  "../bench/table1_serelin.pdb"
+  "CMakeFiles/table1_serelin.dir/table1_serelin.cpp.o"
+  "CMakeFiles/table1_serelin.dir/table1_serelin.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table1_serelin.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/wd_comparison"
+  "../bench/wd_comparison.pdb"
+  "CMakeFiles/wd_comparison.dir/wd_comparison.cpp.o"
+  "CMakeFiles/wd_comparison.dir/wd_comparison.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wd_comparison.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/compare_retiming.cpp" "examples/CMakeFiles/compare_retiming.dir/compare_retiming.cpp.o" "gcc" "examples/CMakeFiles/compare_retiming.dir/compare_retiming.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/flow/CMakeFiles/serelin_flow.dir/DependInfo.cmake"
+  "/root/repo/build/src/ser/CMakeFiles/serelin_ser.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/serelin_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/timing/CMakeFiles/serelin_timing.dir/DependInfo.cmake"
+  "/root/repo/build/src/interval/CMakeFiles/serelin_interval.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/serelin_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/rgraph/CMakeFiles/serelin_rgraph.dir/DependInfo.cmake"
+  "/root/repo/build/src/gen/CMakeFiles/serelin_gen.dir/DependInfo.cmake"
+  "/root/repo/build/src/netlist/CMakeFiles/serelin_netlist.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/serelin_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/compare_retiming.dir/compare_retiming.cpp.o"
+  "CMakeFiles/compare_retiming.dir/compare_retiming.cpp.o.d"
+  "compare_retiming"
+  "compare_retiming.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/compare_retiming.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

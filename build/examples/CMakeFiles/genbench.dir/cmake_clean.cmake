@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/genbench.dir/genbench.cpp.o"
+  "CMakeFiles/genbench.dir/genbench.cpp.o.d"
+  "genbench"
+  "genbench.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/genbench.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

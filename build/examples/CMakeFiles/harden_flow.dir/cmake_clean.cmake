@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/harden_flow.dir/harden_flow.cpp.o"
+  "CMakeFiles/harden_flow.dir/harden_flow.cpp.o.d"
+  "harden_flow"
+  "harden_flow.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/harden_flow.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ser_report.dir/ser_report.cpp.o"
+  "CMakeFiles/ser_report.dir/ser_report.cpp.o.d"
+  "ser_report"
+  "ser_report.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ser_report.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

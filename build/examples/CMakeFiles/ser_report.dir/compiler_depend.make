@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for ser_report.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/closure_solver.cpp" "src/core/CMakeFiles/serelin_core.dir/closure_solver.cpp.o" "gcc" "src/core/CMakeFiles/serelin_core.dir/closure_solver.cpp.o.d"
+  "/root/repo/src/core/exhaustive.cpp" "src/core/CMakeFiles/serelin_core.dir/exhaustive.cpp.o" "gcc" "src/core/CMakeFiles/serelin_core.dir/exhaustive.cpp.o.d"
+  "/root/repo/src/core/initializer.cpp" "src/core/CMakeFiles/serelin_core.dir/initializer.cpp.o" "gcc" "src/core/CMakeFiles/serelin_core.dir/initializer.cpp.o.d"
+  "/root/repo/src/core/min_area.cpp" "src/core/CMakeFiles/serelin_core.dir/min_area.cpp.o" "gcc" "src/core/CMakeFiles/serelin_core.dir/min_area.cpp.o.d"
+  "/root/repo/src/core/min_period.cpp" "src/core/CMakeFiles/serelin_core.dir/min_period.cpp.o" "gcc" "src/core/CMakeFiles/serelin_core.dir/min_period.cpp.o.d"
+  "/root/repo/src/core/objective.cpp" "src/core/CMakeFiles/serelin_core.dir/objective.cpp.o" "gcc" "src/core/CMakeFiles/serelin_core.dir/objective.cpp.o.d"
+  "/root/repo/src/core/regular_forest.cpp" "src/core/CMakeFiles/serelin_core.dir/regular_forest.cpp.o" "gcc" "src/core/CMakeFiles/serelin_core.dir/regular_forest.cpp.o.d"
+  "/root/repo/src/core/solver.cpp" "src/core/CMakeFiles/serelin_core.dir/solver.cpp.o" "gcc" "src/core/CMakeFiles/serelin_core.dir/solver.cpp.o.d"
+  "/root/repo/src/core/wd_matrices.cpp" "src/core/CMakeFiles/serelin_core.dir/wd_matrices.cpp.o" "gcc" "src/core/CMakeFiles/serelin_core.dir/wd_matrices.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/support/CMakeFiles/serelin_support.dir/DependInfo.cmake"
+  "/root/repo/build/src/netlist/CMakeFiles/serelin_netlist.dir/DependInfo.cmake"
+  "/root/repo/build/src/rgraph/CMakeFiles/serelin_rgraph.dir/DependInfo.cmake"
+  "/root/repo/build/src/timing/CMakeFiles/serelin_timing.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/serelin_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/interval/CMakeFiles/serelin_interval.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

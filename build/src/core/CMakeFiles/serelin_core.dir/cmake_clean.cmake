@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/serelin_core.dir/closure_solver.cpp.o"
+  "CMakeFiles/serelin_core.dir/closure_solver.cpp.o.d"
+  "CMakeFiles/serelin_core.dir/exhaustive.cpp.o"
+  "CMakeFiles/serelin_core.dir/exhaustive.cpp.o.d"
+  "CMakeFiles/serelin_core.dir/initializer.cpp.o"
+  "CMakeFiles/serelin_core.dir/initializer.cpp.o.d"
+  "CMakeFiles/serelin_core.dir/min_area.cpp.o"
+  "CMakeFiles/serelin_core.dir/min_area.cpp.o.d"
+  "CMakeFiles/serelin_core.dir/min_period.cpp.o"
+  "CMakeFiles/serelin_core.dir/min_period.cpp.o.d"
+  "CMakeFiles/serelin_core.dir/objective.cpp.o"
+  "CMakeFiles/serelin_core.dir/objective.cpp.o.d"
+  "CMakeFiles/serelin_core.dir/regular_forest.cpp.o"
+  "CMakeFiles/serelin_core.dir/regular_forest.cpp.o.d"
+  "CMakeFiles/serelin_core.dir/solver.cpp.o"
+  "CMakeFiles/serelin_core.dir/solver.cpp.o.d"
+  "CMakeFiles/serelin_core.dir/wd_matrices.cpp.o"
+  "CMakeFiles/serelin_core.dir/wd_matrices.cpp.o.d"
+  "libserelin_core.a"
+  "libserelin_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/serelin_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

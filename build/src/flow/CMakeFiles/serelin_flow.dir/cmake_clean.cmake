@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/serelin_flow.dir/experiment.cpp.o"
+  "CMakeFiles/serelin_flow.dir/experiment.cpp.o.d"
+  "libserelin_flow.a"
+  "libserelin_flow.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/serelin_flow.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

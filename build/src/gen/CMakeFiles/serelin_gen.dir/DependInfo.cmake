@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/gen/paper_examples.cpp" "src/gen/CMakeFiles/serelin_gen.dir/paper_examples.cpp.o" "gcc" "src/gen/CMakeFiles/serelin_gen.dir/paper_examples.cpp.o.d"
+  "/root/repo/src/gen/paper_suite.cpp" "src/gen/CMakeFiles/serelin_gen.dir/paper_suite.cpp.o" "gcc" "src/gen/CMakeFiles/serelin_gen.dir/paper_suite.cpp.o.d"
+  "/root/repo/src/gen/random_circuit.cpp" "src/gen/CMakeFiles/serelin_gen.dir/random_circuit.cpp.o" "gcc" "src/gen/CMakeFiles/serelin_gen.dir/random_circuit.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/support/CMakeFiles/serelin_support.dir/DependInfo.cmake"
+  "/root/repo/build/src/netlist/CMakeFiles/serelin_netlist.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/serelin_gen.dir/paper_examples.cpp.o"
+  "CMakeFiles/serelin_gen.dir/paper_examples.cpp.o.d"
+  "CMakeFiles/serelin_gen.dir/paper_suite.cpp.o"
+  "CMakeFiles/serelin_gen.dir/paper_suite.cpp.o.d"
+  "CMakeFiles/serelin_gen.dir/random_circuit.cpp.o"
+  "CMakeFiles/serelin_gen.dir/random_circuit.cpp.o.d"
+  "libserelin_gen.a"
+  "libserelin_gen.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/serelin_gen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

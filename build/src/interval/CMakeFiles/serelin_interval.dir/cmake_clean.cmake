@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/serelin_interval.dir/interval_set.cpp.o"
+  "CMakeFiles/serelin_interval.dir/interval_set.cpp.o.d"
+  "libserelin_interval.a"
+  "libserelin_interval.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/serelin_interval.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

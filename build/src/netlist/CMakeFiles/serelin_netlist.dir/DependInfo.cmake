@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/netlist/bench_io.cpp" "src/netlist/CMakeFiles/serelin_netlist.dir/bench_io.cpp.o" "gcc" "src/netlist/CMakeFiles/serelin_netlist.dir/bench_io.cpp.o.d"
+  "/root/repo/src/netlist/blif_io.cpp" "src/netlist/CMakeFiles/serelin_netlist.dir/blif_io.cpp.o" "gcc" "src/netlist/CMakeFiles/serelin_netlist.dir/blif_io.cpp.o.d"
+  "/root/repo/src/netlist/builder.cpp" "src/netlist/CMakeFiles/serelin_netlist.dir/builder.cpp.o" "gcc" "src/netlist/CMakeFiles/serelin_netlist.dir/builder.cpp.o.d"
+  "/root/repo/src/netlist/cell.cpp" "src/netlist/CMakeFiles/serelin_netlist.dir/cell.cpp.o" "gcc" "src/netlist/CMakeFiles/serelin_netlist.dir/cell.cpp.o.d"
+  "/root/repo/src/netlist/cell_library.cpp" "src/netlist/CMakeFiles/serelin_netlist.dir/cell_library.cpp.o" "gcc" "src/netlist/CMakeFiles/serelin_netlist.dir/cell_library.cpp.o.d"
+  "/root/repo/src/netlist/netlist.cpp" "src/netlist/CMakeFiles/serelin_netlist.dir/netlist.cpp.o" "gcc" "src/netlist/CMakeFiles/serelin_netlist.dir/netlist.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/support/CMakeFiles/serelin_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/serelin_netlist.dir/bench_io.cpp.o"
+  "CMakeFiles/serelin_netlist.dir/bench_io.cpp.o.d"
+  "CMakeFiles/serelin_netlist.dir/blif_io.cpp.o"
+  "CMakeFiles/serelin_netlist.dir/blif_io.cpp.o.d"
+  "CMakeFiles/serelin_netlist.dir/builder.cpp.o"
+  "CMakeFiles/serelin_netlist.dir/builder.cpp.o.d"
+  "CMakeFiles/serelin_netlist.dir/cell.cpp.o"
+  "CMakeFiles/serelin_netlist.dir/cell.cpp.o.d"
+  "CMakeFiles/serelin_netlist.dir/cell_library.cpp.o"
+  "CMakeFiles/serelin_netlist.dir/cell_library.cpp.o.d"
+  "CMakeFiles/serelin_netlist.dir/netlist.cpp.o"
+  "CMakeFiles/serelin_netlist.dir/netlist.cpp.o.d"
+  "libserelin_netlist.a"
+  "libserelin_netlist.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/serelin_netlist.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libserelin_netlist.a"
+)

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/serelin_rgraph.dir/apply.cpp.o"
+  "CMakeFiles/serelin_rgraph.dir/apply.cpp.o.d"
+  "CMakeFiles/serelin_rgraph.dir/retiming_graph.cpp.o"
+  "CMakeFiles/serelin_rgraph.dir/retiming_graph.cpp.o.d"
+  "libserelin_rgraph.a"
+  "libserelin_rgraph.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/serelin_rgraph.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

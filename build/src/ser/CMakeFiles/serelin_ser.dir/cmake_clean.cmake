@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/serelin_ser.dir/ser_analyzer.cpp.o"
+  "CMakeFiles/serelin_ser.dir/ser_analyzer.cpp.o.d"
+  "libserelin_ser.a"
+  "libserelin_ser.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/serelin_ser.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/graph_sim.cpp" "src/sim/CMakeFiles/serelin_sim.dir/graph_sim.cpp.o" "gcc" "src/sim/CMakeFiles/serelin_sim.dir/graph_sim.cpp.o.d"
+  "/root/repo/src/sim/observability.cpp" "src/sim/CMakeFiles/serelin_sim.dir/observability.cpp.o" "gcc" "src/sim/CMakeFiles/serelin_sim.dir/observability.cpp.o.d"
+  "/root/repo/src/sim/simulator.cpp" "src/sim/CMakeFiles/serelin_sim.dir/simulator.cpp.o" "gcc" "src/sim/CMakeFiles/serelin_sim.dir/simulator.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/support/CMakeFiles/serelin_support.dir/DependInfo.cmake"
+  "/root/repo/build/src/netlist/CMakeFiles/serelin_netlist.dir/DependInfo.cmake"
+  "/root/repo/build/src/rgraph/CMakeFiles/serelin_rgraph.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/serelin_sim.dir/graph_sim.cpp.o"
+  "CMakeFiles/serelin_sim.dir/graph_sim.cpp.o.d"
+  "CMakeFiles/serelin_sim.dir/observability.cpp.o"
+  "CMakeFiles/serelin_sim.dir/observability.cpp.o.d"
+  "CMakeFiles/serelin_sim.dir/simulator.cpp.o"
+  "CMakeFiles/serelin_sim.dir/simulator.cpp.o.d"
+  "libserelin_sim.a"
+  "libserelin_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/serelin_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

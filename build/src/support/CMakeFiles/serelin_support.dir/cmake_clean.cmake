@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/serelin_support.dir/check.cpp.o"
+  "CMakeFiles/serelin_support.dir/check.cpp.o.d"
+  "CMakeFiles/serelin_support.dir/rng.cpp.o"
+  "CMakeFiles/serelin_support.dir/rng.cpp.o.d"
+  "CMakeFiles/serelin_support.dir/strings.cpp.o"
+  "CMakeFiles/serelin_support.dir/strings.cpp.o.d"
+  "CMakeFiles/serelin_support.dir/table.cpp.o"
+  "CMakeFiles/serelin_support.dir/table.cpp.o.d"
+  "libserelin_support.a"
+  "libserelin_support.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/serelin_support.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/timing/constraints.cpp" "src/timing/CMakeFiles/serelin_timing.dir/constraints.cpp.o" "gcc" "src/timing/CMakeFiles/serelin_timing.dir/constraints.cpp.o.d"
+  "/root/repo/src/timing/elw.cpp" "src/timing/CMakeFiles/serelin_timing.dir/elw.cpp.o" "gcc" "src/timing/CMakeFiles/serelin_timing.dir/elw.cpp.o.d"
+  "/root/repo/src/timing/graph_timing.cpp" "src/timing/CMakeFiles/serelin_timing.dir/graph_timing.cpp.o" "gcc" "src/timing/CMakeFiles/serelin_timing.dir/graph_timing.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/support/CMakeFiles/serelin_support.dir/DependInfo.cmake"
+  "/root/repo/build/src/interval/CMakeFiles/serelin_interval.dir/DependInfo.cmake"
+  "/root/repo/build/src/netlist/CMakeFiles/serelin_netlist.dir/DependInfo.cmake"
+  "/root/repo/build/src/rgraph/CMakeFiles/serelin_rgraph.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/serelin_timing.dir/constraints.cpp.o"
+  "CMakeFiles/serelin_timing.dir/constraints.cpp.o.d"
+  "CMakeFiles/serelin_timing.dir/elw.cpp.o"
+  "CMakeFiles/serelin_timing.dir/elw.cpp.o.d"
+  "CMakeFiles/serelin_timing.dir/graph_timing.cpp.o"
+  "CMakeFiles/serelin_timing.dir/graph_timing.cpp.o.d"
+  "libserelin_timing.a"
+  "libserelin_timing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/serelin_timing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

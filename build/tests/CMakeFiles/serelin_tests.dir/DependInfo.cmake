@@ -1,0 +1,51 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_bench_io.cpp" "tests/CMakeFiles/serelin_tests.dir/test_bench_io.cpp.o" "gcc" "tests/CMakeFiles/serelin_tests.dir/test_bench_io.cpp.o.d"
+  "/root/repo/tests/test_blif_io.cpp" "tests/CMakeFiles/serelin_tests.dir/test_blif_io.cpp.o" "gcc" "tests/CMakeFiles/serelin_tests.dir/test_blif_io.cpp.o.d"
+  "/root/repo/tests/test_elw.cpp" "tests/CMakeFiles/serelin_tests.dir/test_elw.cpp.o" "gcc" "tests/CMakeFiles/serelin_tests.dir/test_elw.cpp.o.d"
+  "/root/repo/tests/test_flow.cpp" "tests/CMakeFiles/serelin_tests.dir/test_flow.cpp.o" "gcc" "tests/CMakeFiles/serelin_tests.dir/test_flow.cpp.o.d"
+  "/root/repo/tests/test_forest.cpp" "tests/CMakeFiles/serelin_tests.dir/test_forest.cpp.o" "gcc" "tests/CMakeFiles/serelin_tests.dir/test_forest.cpp.o.d"
+  "/root/repo/tests/test_gen.cpp" "tests/CMakeFiles/serelin_tests.dir/test_gen.cpp.o" "gcc" "tests/CMakeFiles/serelin_tests.dir/test_gen.cpp.o.d"
+  "/root/repo/tests/test_graph_sim.cpp" "tests/CMakeFiles/serelin_tests.dir/test_graph_sim.cpp.o" "gcc" "tests/CMakeFiles/serelin_tests.dir/test_graph_sim.cpp.o.d"
+  "/root/repo/tests/test_initializer.cpp" "tests/CMakeFiles/serelin_tests.dir/test_initializer.cpp.o" "gcc" "tests/CMakeFiles/serelin_tests.dir/test_initializer.cpp.o.d"
+  "/root/repo/tests/test_integration.cpp" "tests/CMakeFiles/serelin_tests.dir/test_integration.cpp.o" "gcc" "tests/CMakeFiles/serelin_tests.dir/test_integration.cpp.o.d"
+  "/root/repo/tests/test_interval.cpp" "tests/CMakeFiles/serelin_tests.dir/test_interval.cpp.o" "gcc" "tests/CMakeFiles/serelin_tests.dir/test_interval.cpp.o.d"
+  "/root/repo/tests/test_min_area.cpp" "tests/CMakeFiles/serelin_tests.dir/test_min_area.cpp.o" "gcc" "tests/CMakeFiles/serelin_tests.dir/test_min_area.cpp.o.d"
+  "/root/repo/tests/test_min_period.cpp" "tests/CMakeFiles/serelin_tests.dir/test_min_period.cpp.o" "gcc" "tests/CMakeFiles/serelin_tests.dir/test_min_period.cpp.o.d"
+  "/root/repo/tests/test_netlist.cpp" "tests/CMakeFiles/serelin_tests.dir/test_netlist.cpp.o" "gcc" "tests/CMakeFiles/serelin_tests.dir/test_netlist.cpp.o.d"
+  "/root/repo/tests/test_observability.cpp" "tests/CMakeFiles/serelin_tests.dir/test_observability.cpp.o" "gcc" "tests/CMakeFiles/serelin_tests.dir/test_observability.cpp.o.d"
+  "/root/repo/tests/test_optimality.cpp" "tests/CMakeFiles/serelin_tests.dir/test_optimality.cpp.o" "gcc" "tests/CMakeFiles/serelin_tests.dir/test_optimality.cpp.o.d"
+  "/root/repo/tests/test_paper_examples.cpp" "tests/CMakeFiles/serelin_tests.dir/test_paper_examples.cpp.o" "gcc" "tests/CMakeFiles/serelin_tests.dir/test_paper_examples.cpp.o.d"
+  "/root/repo/tests/test_rgraph.cpp" "tests/CMakeFiles/serelin_tests.dir/test_rgraph.cpp.o" "gcc" "tests/CMakeFiles/serelin_tests.dir/test_rgraph.cpp.o.d"
+  "/root/repo/tests/test_ser.cpp" "tests/CMakeFiles/serelin_tests.dir/test_ser.cpp.o" "gcc" "tests/CMakeFiles/serelin_tests.dir/test_ser.cpp.o.d"
+  "/root/repo/tests/test_sim.cpp" "tests/CMakeFiles/serelin_tests.dir/test_sim.cpp.o" "gcc" "tests/CMakeFiles/serelin_tests.dir/test_sim.cpp.o.d"
+  "/root/repo/tests/test_solver.cpp" "tests/CMakeFiles/serelin_tests.dir/test_solver.cpp.o" "gcc" "tests/CMakeFiles/serelin_tests.dir/test_solver.cpp.o.d"
+  "/root/repo/tests/test_support.cpp" "tests/CMakeFiles/serelin_tests.dir/test_support.cpp.o" "gcc" "tests/CMakeFiles/serelin_tests.dir/test_support.cpp.o.d"
+  "/root/repo/tests/test_timing.cpp" "tests/CMakeFiles/serelin_tests.dir/test_timing.cpp.o" "gcc" "tests/CMakeFiles/serelin_tests.dir/test_timing.cpp.o.d"
+  "/root/repo/tests/test_wd.cpp" "tests/CMakeFiles/serelin_tests.dir/test_wd.cpp.o" "gcc" "tests/CMakeFiles/serelin_tests.dir/test_wd.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/flow/CMakeFiles/serelin_flow.dir/DependInfo.cmake"
+  "/root/repo/build/src/ser/CMakeFiles/serelin_ser.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/serelin_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/timing/CMakeFiles/serelin_timing.dir/DependInfo.cmake"
+  "/root/repo/build/src/interval/CMakeFiles/serelin_interval.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/serelin_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/rgraph/CMakeFiles/serelin_rgraph.dir/DependInfo.cmake"
+  "/root/repo/build/src/gen/CMakeFiles/serelin_gen.dir/DependInfo.cmake"
+  "/root/repo/build/src/netlist/CMakeFiles/serelin_netlist.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/serelin_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/serelin_cli.dir/serelin_cli.cpp.o"
+  "CMakeFiles/serelin_cli.dir/serelin_cli.cpp.o.d"
+  "serelin_cli"
+  "serelin_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/serelin_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
