@@ -4,26 +4,55 @@
 #include <queue>
 
 #include "support/check.hpp"
+#include "support/parallel.hpp"
 
 namespace serelin {
+
+namespace {
+
+/// Per-worker scratch for the per-source Dijkstra + tight-DAG DP. The
+/// result rows are written straight into the matrices (each source owns a
+/// disjoint slice), so only the traversal state lives here.
+struct WdScratch {
+  std::vector<std::uint32_t> tight_pending;
+  std::vector<VertexId> order;
+  using Item = std::pair<std::int32_t, VertexId>;
+  std::priority_queue<Item, std::vector<Item>, std::greater<>> heap;
+
+  void prepare(std::size_t n) {
+    if (tight_pending.size() != n) {
+      tight_pending.assign(n, 0);
+      order.reserve(n);
+    }
+  }
+};
+
+}  // namespace
 
 WdMatrices::WdMatrices(const RetimingGraph& g) : n_(g.vertex_count()) {
   w_.assign(n_ * n_, kUnreachable);
   d_.assign(n_ * n_, 0.0);
 
-  // Reusable per-source scratch.
-  std::vector<std::int32_t> wrow(n_);
-  std::vector<double> drow(n_);
-  std::vector<std::uint32_t> tight_pending(n_);
-  std::vector<VertexId> order;
-  order.reserve(n_);
-  using Item = std::pair<std::int32_t, VertexId>;
-  std::priority_queue<Item, std::vector<Item>, std::greater<>> heap;
+  // One independent single-source computation per vertex; source s writes
+  // only its own row slices w_[s·n .. (s+1)·n) and d_[..], so results are
+  // bit-identical for any thread count.
+  std::vector<WdScratch> scratch(
+      static_cast<std::size_t>(parallel_workers()));
+  const std::size_t grain =
+      std::max<std::size_t>(1, n_ / (static_cast<std::size_t>(
+                                         parallel_workers()) *
+                                     8));
+  parallel_for(0, n_, grain, [&](std::size_t src, int lane) {
+    const VertexId s = static_cast<VertexId>(src);
+    WdScratch& sc = scratch[static_cast<std::size_t>(lane)];
+    sc.prepare(n_);
+    std::int32_t* wrow = w_.data() + src * n_;
+    double* drow = d_.data() + src * n_;
 
-  for (VertexId s = 0; s < n_; ++s) {
-    // Dijkstra on register counts from s.
-    std::fill(wrow.begin(), wrow.end(), kUnreachable);
+    // Dijkstra on register counts from s (wrow is pre-filled with
+    // kUnreachable by the assign above).
     wrow[s] = 0;
+    auto& heap = sc.heap;
     heap.emplace(0, s);
     while (!heap.empty()) {
       const auto [wu, u] = heap.top();
@@ -46,37 +75,47 @@ WdMatrices::WdMatrices(const RetimingGraph& g) : n_(g.vertex_count()) {
     auto tight = [&](const REdge& e) {
       return wrow[e.from] != kUnreachable && wrow[e.to] == wrow[e.from] + e.w;
     };
-    std::fill(tight_pending.begin(), tight_pending.end(), 0);
+    std::fill(sc.tight_pending.begin(), sc.tight_pending.end(), 0);
     for (EdgeId eid = 0; eid < g.edge_count(); ++eid)
-      if (tight(g.edge(eid))) ++tight_pending[g.edge(eid).to];
-    order.clear();
+      if (tight(g.edge(eid))) ++sc.tight_pending[g.edge(eid).to];
+    sc.order.clear();
     for (VertexId v = 0; v < n_; ++v)
-      if (wrow[v] != kUnreachable && tight_pending[v] == 0) order.push_back(v);
-    std::fill(drow.begin(), drow.end(), 0.0);
+      if (wrow[v] != kUnreachable && sc.tight_pending[v] == 0)
+        sc.order.push_back(v);
     drow[s] = g.vertex(s).delay;
-    for (std::size_t head = 0; head < order.size(); ++head) {
-      const VertexId u = order[head];
+    for (std::size_t head = 0; head < sc.order.size(); ++head) {
+      const VertexId u = sc.order[head];
       for (EdgeId eid : g.out_edges(u)) {
         const REdge& e = g.edge(eid);
         if (!tight(e)) continue;
         drow[e.to] =
             std::max(drow[e.to], drow[u] + g.vertex(e.to).delay);
-        if (--tight_pending[e.to] == 0) order.push_back(e.to);
+        if (--sc.tight_pending[e.to] == 0) sc.order.push_back(e.to);
       }
     }
-
-    std::copy(wrow.begin(), wrow.end(), w_.begin() + static_cast<std::ptrdiff_t>(s * n_));
-    std::copy(drow.begin(), drow.end(), d_.begin() + static_cast<std::ptrdiff_t>(s * n_));
-  }
+  });
 }
 
 std::vector<double> WdMatrices::candidate_periods() const {
+  // Every reachable pair contributes a D value (n² of them on dense
+  // graphs), so count first and reserve exactly instead of guessing.
+  std::size_t reachable = 0;
+  for (std::size_t i = 0; i < w_.size(); ++i)
+    if (w_[i] != kUnreachable) ++reachable;
   std::vector<double> out;
-  out.reserve(n_ * 4);
+  out.reserve(reachable);
   for (std::size_t i = 0; i < w_.size(); ++i)
     if (w_[i] != kUnreachable) out.push_back(d_[i]);
   std::sort(out.begin(), out.end());
-  out.erase(std::unique(out.begin(), out.end()), out.end());
+  // Tolerance-aware dedup: delays are sums of doubles, so equal-period
+  // candidates can differ in the last ulps depending on summation path;
+  // exact std::unique would keep both and bloat the binary search.
+  constexpr double kTol = 1e-9;
+  std::size_t kept = 0;
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    if (kept == 0 || out[i] > out[kept - 1] + kTol) out[kept++] = out[i];
+  }
+  out.resize(kept);
   return out;
 }
 

@@ -1,6 +1,9 @@
 #include "ser/ser_analyzer.hpp"
 
+#include <algorithm>
+
 #include "support/check.hpp"
+#include "support/parallel.hpp"
 
 namespace serelin {
 
@@ -15,21 +18,29 @@ SerReport analyze_ser(const Netlist& nl, const CellLibrary& lib,
   report.elw = compute_elw(nl, lib, options.timing);
   report.contribution.assign(nl.node_count(), 0.0);
 
+  // Per-gate terms of Eq. (4) are independent: each iteration writes only
+  // contribution[id]. The comb/seq reduction happens afterwards in fixed
+  // NodeId order so the floating-point sums are bit-identical for any
+  // thread count.
   const double phi = options.timing.period;
-  for (NodeId id = 0; id < nl.node_count(); ++id) {
+  const std::size_t grain = std::max<std::size_t>(
+      64, nl.node_count() / (static_cast<std::size_t>(parallel_workers()) *
+                             8));
+  parallel_for(0, nl.node_count(), grain, [&](std::size_t idx, int) {
+    const NodeId id = static_cast<NodeId>(idx);
     const Node& n = nl.node(id);
-    const bool comb = is_gate(n.type);
-    const bool seq = n.type == CellType::kDff;
-    if (!comb && !seq) continue;
+    if (!is_gate(n.type) && n.type != CellType::kDff) return;
     const double err = lib.err(n.type);
     const double window =
         options.timing_masking ? report.elw.measure(id, phi) / phi : 1.0;
-    const double c = report.obs[id] * err * window;
-    report.contribution[id] = c;
-    if (comb)
-      report.combinational += c;
-    else
-      report.sequential += c;
+    report.contribution[id] = report.obs[id] * err * window;
+  });
+  for (NodeId id = 0; id < nl.node_count(); ++id) {
+    const Node& n = nl.node(id);
+    if (is_gate(n.type))
+      report.combinational += report.contribution[id];
+    else if (n.type == CellType::kDff)
+      report.sequential += report.contribution[id];
   }
   report.total = report.combinational + report.sequential;
   return report;

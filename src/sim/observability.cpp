@@ -2,8 +2,10 @@
 
 #include <algorithm>
 #include <bit>
+#include <memory>
 
 #include "support/check.hpp"
+#include "support/parallel.hpp"
 
 namespace serelin {
 
@@ -69,8 +71,9 @@ ObsResult ObservabilityAnalyzer::run_signature() {
   for (std::size_t i = 0; i < nl_->dffs().size(); ++i)
     dff_index[nl_->dffs()[i]] = static_cast<std::uint32_t>(i);
 
-  std::vector<std::uint64_t> gather;   // fanin words for one pattern word
-  std::vector<std::uint64_t> result;   // reused odc accumulator
+  // Per-worker fanin gather buffers for the word-block fan-out below.
+  std::vector<std::vector<std::uint64_t>> gathers(
+      static_cast<std::size_t>(parallel_workers()));
   ObsResult out;
   out.obs.assign(n_nodes, 0.0);
 
@@ -87,45 +90,58 @@ ObsResult ObservabilityAnalyzer::run_signature() {
     sim.eval_frame();
 
     const bool last_frame = (frame == cfg_.frames - 1);
-    for (NodeId v : reverse_order) {
-      auto odc_v = std::span<std::uint64_t>(
-          odc.data() + static_cast<std::size_t>(v) * words_,
-          static_cast<std::size_t>(words_));
-      std::fill(odc_v.begin(), odc_v.end(),
-                nl_->is_output(v) ? ~0ULL : 0ULL);
-      for (NodeId f : nl_->node(v).fanouts) {
-        const Node& fn = nl_->node(f);
-        if (fn.type == CellType::kDff) {
-          // Cross-frame: the register stores v, visible next frame (or
-          // captured as a pseudo-output after the last frame).
-          if (last_frame) {
-            std::fill(odc_v.begin(), odc_v.end(), ~0ULL);
-          } else {
-            const std::uint64_t* nx =
-                odc_next.data() +
-                static_cast<std::size_t>(dff_index[f]) * words_;
-            for (int w = 0; w < words_; ++w) odc_v[w] |= nx[w];
+    // The backward ODC pass is independent across pattern words: word w of
+    // every ODC mask depends only on word w of the value plane and of the
+    // already-computed fanout masks. Batch the words into blocks, one
+    // parallel task per block — each task sweeps the whole reverse order
+    // for its disjoint word columns, so any thread count produces the same
+    // bits.
+    const Simulator& csim = sim;
+    parallel_for_chunks(
+        0, static_cast<std::size_t>(words_), 1,
+        [&](std::size_t w0, std::size_t w1, int lane) {
+          auto& gather = gathers[static_cast<std::size_t>(lane)];
+          for (NodeId v : reverse_order) {
+            std::uint64_t* odc_v =
+                odc.data() + static_cast<std::size_t>(v) * words_;
+            const std::uint64_t seed_mask =
+                nl_->is_output(v) ? ~0ULL : 0ULL;
+            for (std::size_t w = w0; w < w1; ++w) odc_v[w] = seed_mask;
+            for (NodeId f : nl_->node(v).fanouts) {
+              const Node& fn = nl_->node(f);
+              if (fn.type == CellType::kDff) {
+                // Cross-frame: the register stores v, visible next frame
+                // (or captured as a pseudo-output after the last frame).
+                if (last_frame) {
+                  for (std::size_t w = w0; w < w1; ++w) odc_v[w] = ~0ULL;
+                } else {
+                  const std::uint64_t* nx =
+                      odc_next.data() +
+                      static_cast<std::size_t>(dff_index[f]) * words_;
+                  for (std::size_t w = w0; w < w1; ++w) odc_v[w] |= nx[w];
+                }
+                continue;
+              }
+              // Local sensitivity of fanout gate f to a flip of v, masked
+              // by f's own ODC (already computed: f is topologically after
+              // v).
+              const std::uint64_t* odc_f =
+                  odc.data() + static_cast<std::size_t>(f) * words_;
+              gather.resize(fn.fanins.size());
+              auto fv = csim.value(f);
+              for (std::size_t w = w0; w < w1; ++w) {
+                for (std::size_t k = 0; k < fn.fanins.size(); ++k) {
+                  std::uint64_t word = csim.value(fn.fanins[k])[w];
+                  if (fn.fanins[k] == v) word = ~word;
+                  gather[k] = word;
+                }
+                const std::uint64_t flipped =
+                    eval_cell(fn.type, {gather.data(), fn.fanins.size()});
+                odc_v[w] |= (flipped ^ fv[w]) & odc_f[w];
+              }
+            }
           }
-          continue;
-        }
-        // Local sensitivity of fanout gate f to a flip of v, masked by f's
-        // own ODC (already computed: f is topologically after v).
-        const std::uint64_t* odc_f =
-            odc.data() + static_cast<std::size_t>(f) * words_;
-        gather.resize(fn.fanins.size());
-        auto fv = sim.value(f);
-        for (int w = 0; w < words_; ++w) {
-          for (std::size_t k = 0; k < fn.fanins.size(); ++k) {
-            std::uint64_t word = sim.value(fn.fanins[k])[w];
-            if (fn.fanins[k] == v) word = ~word;
-            gather[k] = word;
-          }
-          const std::uint64_t flipped =
-              eval_cell(fn.type, {gather.data(), fn.fanins.size()});
-          odc_v[w] |= (flipped ^ fv[w]) & odc_f[w];
-        }
-      }
-    }
+        });
 
     // Snapshot flip-flop ODCs for the next (earlier) frame's cross terms.
     for (std::size_t i = 0; i < nl_->dffs().size(); ++i) {
@@ -144,10 +160,11 @@ ObsResult ObservabilityAnalyzer::run_signature() {
   return out;
 }
 
-std::vector<std::uint64_t> ObservabilityAnalyzer::observables(NodeId flip) {
-  Simulator sim(*nl_, words_);
+void ObservabilityAnalyzer::observables(NodeId flip, Simulator& sim,
+                                        std::vector<std::uint64_t>& gather,
+                                        std::vector<std::uint64_t>& out) const {
   sim.load_state(states_[0]);
-  std::vector<std::uint64_t> obs_words;
+  out.clear();
   for (int frame = 0; frame < cfg_.frames; ++frame) {
     const auto& in = inputs_[frame];
     for (std::size_t p = 0; p < nl_->inputs().size(); ++p) {
@@ -169,7 +186,7 @@ std::vector<std::uint64_t> ObservabilityAnalyzer::observables(NodeId flip) {
       for (NodeId id : nl_->gate_order()) {
         if (id == flip) continue;
         const Node& n = nl_->node(id);
-        std::vector<std::uint64_t> gather(n.fanins.size());
+        gather.resize(n.fanins.size());
         auto outw = sim.value(id);
         for (int w = 0; w < words_; ++w) {
           for (std::size_t k = 0; k < n.fanins.size(); ++k)
@@ -182,27 +199,47 @@ std::vector<std::uint64_t> ObservabilityAnalyzer::observables(NodeId flip) {
     }
     for (NodeId po : nl_->outputs()) {
       auto v = sim.value(po);
-      obs_words.insert(obs_words.end(), v.begin(), v.end());
+      out.insert(out.end(), v.begin(), v.end());
     }
     sim.step();
   }
   const auto st = sim.state_plane();
-  obs_words.insert(obs_words.end(), st.begin(), st.end());
-  return obs_words;
+  out.insert(out.end(), st.begin(), st.end());
 }
 
 ObsResult ObservabilityAnalyzer::run_exact() {
   ObsResult out;
   out.obs.assign(nl_->node_count(), 0.0);
-  const std::vector<std::uint64_t> base = observables(kNullNode);
-  for (NodeId v = 0; v < nl_->node_count(); ++v) {
-    const std::vector<std::uint64_t> flipped = observables(v);
-    SERELIN_ASSERT(flipped.size() == base.size(), "observable plane mismatch");
-    std::vector<std::uint64_t> diff(static_cast<std::size_t>(words_), 0);
-    for (std::size_t i = 0; i < base.size(); ++i)
-      diff[i % static_cast<std::size_t>(words_)] |= base[i] ^ flipped[i];
-    out.obs[v] = popcount_fraction(diff, cfg_.patterns);
+
+  std::vector<std::uint64_t> base;
+  {
+    Simulator sim(*nl_, words_);
+    std::vector<std::uint64_t> gather;
+    observables(kNullNode, sim, gather, base);
   }
+
+  // One flip-and-resimulate run per node; runs are fully independent (each
+  // owns its Simulator and writes only obs[v]), so the fan-out is
+  // deterministic by construction.
+  struct LaneScratch {
+    std::unique_ptr<Simulator> sim;
+    std::vector<std::uint64_t> plane;
+    std::vector<std::uint64_t> gather;
+    std::vector<std::uint64_t> diff;
+  };
+  std::vector<LaneScratch> lanes(
+      static_cast<std::size_t>(parallel_workers()));
+  parallel_for(0, nl_->node_count(), 1, [&](std::size_t v, int lane) {
+    LaneScratch& sc = lanes[static_cast<std::size_t>(lane)];
+    if (!sc.sim) sc.sim = std::make_unique<Simulator>(*nl_, words_);
+    observables(static_cast<NodeId>(v), *sc.sim, sc.gather, sc.plane);
+    SERELIN_ASSERT(sc.plane.size() == base.size(),
+                   "observable plane mismatch");
+    sc.diff.assign(static_cast<std::size_t>(words_), 0);
+    for (std::size_t i = 0; i < base.size(); ++i)
+      sc.diff[i % static_cast<std::size_t>(words_)] |= base[i] ^ sc.plane[i];
+    out.obs[v] = popcount_fraction(sc.diff, cfg_.patterns);
+  });
   return out;
 }
 

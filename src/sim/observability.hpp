@@ -53,9 +53,14 @@ class ObservabilityAnalyzer {
   ObsResult run_exact();
 
   /// Simulates frames 0..frames-1 from the stored frame-0 state/inputs,
-  /// optionally flipping `flip` in frame 0, and returns the concatenated
-  /// observable words (POs of each frame, then the final register plane).
-  std::vector<std::uint64_t> observables(NodeId flip);
+  /// optionally flipping `flip` in frame 0, and fills `out` with the
+  /// concatenated observable words (POs of each frame, then the final
+  /// register plane). `sim` and `gather` are caller-owned scratch so the
+  /// exact mode can run one resimulation per flip node in parallel with
+  /// per-worker buffers; const and thread-safe for distinct scratch.
+  void observables(NodeId flip, Simulator& sim,
+                   std::vector<std::uint64_t>& gather,
+                   std::vector<std::uint64_t>& out) const;
 
   void record_run();  // warm-up, then store per-frame inputs and states
 

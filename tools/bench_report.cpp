@@ -1,0 +1,255 @@
+// bench_report — runs the parallel hot-path kernels (W/D construction,
+// exact and signature observability, the SER sweep) at a ladder of worker
+// counts and records wall time + speedup into a JSON file, so the repo's
+// perf trajectory is measured and versioned instead of asserted.
+//
+//   bench_report [--out BENCH_parallel.json] [--gates N] [--dffs N]
+//                [--threads 1,2,4,8] [--repeat R]
+//
+// Each (kernel, threads) cell reports the best of R runs (default 2) and
+// the speedup relative to the same kernel at 1 thread. The tool also
+// cross-checks that every thread count produced bit-identical results and
+// refuses to write the report otherwise — the determinism contract of
+// docs/PARALLELISM.md is enforced at measurement time.
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "core/wd_matrices.hpp"
+#include "gen/random_circuit.hpp"
+#include "netlist/cell_library.hpp"
+#include "rgraph/retiming_graph.hpp"
+#include "ser/ser_analyzer.hpp"
+#include "sim/observability.hpp"
+#include "support/check.hpp"
+#include "support/parallel.hpp"
+#include "support/stopwatch.hpp"
+
+namespace {
+
+using namespace serelin;
+
+struct Cell {
+  int threads = 1;
+  double wall_ms = 0.0;
+  double speedup = 1.0;
+};
+
+struct KernelReport {
+  std::string name;
+  std::string config;
+  std::vector<Cell> cells;
+  bool identical = true;  // results bit-identical across thread counts
+};
+
+std::vector<int> parse_threads(const char* arg) {
+  std::vector<int> out;
+  std::string s(arg);
+  std::size_t pos = 0;
+  while (pos < s.size()) {
+    std::size_t comma = s.find(',', pos);
+    if (comma == std::string::npos) comma = s.size();
+    out.push_back(std::atoi(s.substr(pos, comma - pos).c_str()));
+    pos = comma + 1;
+  }
+  SERELIN_REQUIRE(!out.empty(), "--threads needs at least one count");
+  for (int t : out) SERELIN_REQUIRE(t >= 1, "thread counts must be >= 1");
+  return out;
+}
+
+/// Times `run` (which returns a fingerprint of its result) at each worker
+/// count: best of `repeat` runs per count, bit-identity checked against
+/// the 1-thread fingerprint.
+template <typename RunFn>
+KernelReport measure(const std::string& name, const std::string& config,
+                     const std::vector<int>& thread_counts, int repeat,
+                     RunFn&& run) {
+  KernelReport rep;
+  rep.name = name;
+  rep.config = config;
+  std::vector<std::uint64_t> reference;
+  double t1_ms = 0.0;
+  for (int threads : thread_counts) {
+    set_execution_threads(threads);
+    double best_ms = 0.0;
+    std::vector<std::uint64_t> fingerprint;
+    for (int r = 0; r < repeat; ++r) {
+      Stopwatch sw;
+      fingerprint = run();
+      const double ms = sw.seconds() * 1e3;
+      if (r == 0 || ms < best_ms) best_ms = ms;
+    }
+    if (reference.empty())
+      reference = fingerprint;
+    else if (fingerprint != reference)
+      rep.identical = false;
+    if (threads == thread_counts.front()) t1_ms = best_ms;
+    rep.cells.push_back({threads, best_ms, t1_ms / best_ms});
+    std::printf("  %-14s threads=%-2d  %10.1f ms  (x%.2f)%s\n", name.c_str(),
+                threads, best_ms, t1_ms / best_ms,
+                rep.identical ? "" : "  MISMATCH");
+  }
+  set_execution_threads(0);
+  return rep;
+}
+
+/// Order-sensitive 64-bit fingerprint (FNV-1a over the byte stream).
+template <typename T>
+std::uint64_t fingerprint_bytes(const std::vector<T>& data) {
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+  const auto* bytes = reinterpret_cast<const unsigned char*>(data.data());
+  for (std::size_t i = 0; i < data.size() * sizeof(T); ++i) {
+    h ^= bytes[i];
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
+void write_json(const char* path, const RandomCircuitSpec& spec,
+                const std::vector<KernelReport>& kernels) {
+  std::FILE* f = std::fopen(path, "w");
+  SERELIN_REQUIRE(f != nullptr, "cannot open output file");
+  std::fprintf(f, "{\n");
+  std::fprintf(f,
+               "  \"circuit\": {\"gates\": %d, \"dffs\": %d, \"inputs\": %d, "
+               "\"outputs\": %d, \"seed\": %llu},\n",
+               spec.gates, spec.dffs, spec.inputs, spec.outputs,
+               static_cast<unsigned long long>(spec.seed));
+  std::fprintf(f, "  \"hardware_threads\": %d,\n", hardware_threads());
+  std::fprintf(f, "  \"kernels\": [\n");
+  for (std::size_t k = 0; k < kernels.size(); ++k) {
+    const KernelReport& rep = kernels[k];
+    std::fprintf(f, "    {\"kernel\": \"%s\", \"config\": \"%s\",\n",
+                 rep.name.c_str(), rep.config.c_str());
+    std::fprintf(f, "     \"bit_identical_across_threads\": %s,\n",
+                 rep.identical ? "true" : "false");
+    std::fprintf(f, "     \"results\": [");
+    for (std::size_t i = 0; i < rep.cells.size(); ++i) {
+      const Cell& c = rep.cells[i];
+      std::fprintf(f,
+                   "%s\n       {\"threads\": %d, \"wall_ms\": %.2f, "
+                   "\"speedup\": %.3f}",
+                   i ? "," : "", c.threads, c.wall_ms, c.speedup);
+    }
+    std::fprintf(f, "\n     ]}%s\n", k + 1 < kernels.size() ? "," : "");
+  }
+  std::fprintf(f, "  ]\n}\n");
+  std::fclose(f);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const char* out_path = "BENCH_parallel.json";
+  RandomCircuitSpec spec;
+  spec.name = "micro";
+  spec.gates = 10000;
+  spec.dffs = 2500;
+  spec.inputs = 32;
+  spec.outputs = 32;
+  spec.mean_fanin = 2.0;
+  spec.seed = 777;
+  std::vector<int> threads = {1, 2, 4, 8};
+  int repeat = 2;
+
+  try {
+    for (int i = 1; i < argc; ++i) {
+      auto value = [&]() -> const char* {
+        if (i + 1 >= argc) {
+          std::fprintf(stderr, "missing value for %s\n", argv[i]);
+          std::exit(2);
+        }
+        return argv[++i];
+      };
+      if (!std::strcmp(argv[i], "--out")) out_path = value();
+      else if (!std::strcmp(argv[i], "--gates")) spec.gates = std::atoi(value());
+      else if (!std::strcmp(argv[i], "--dffs")) spec.dffs = std::atoi(value());
+      else if (!std::strcmp(argv[i], "--threads")) threads = parse_threads(value());
+      else if (!std::strcmp(argv[i], "--repeat")) repeat = std::atoi(value());
+      else {
+        std::fprintf(stderr,
+                     "usage: bench_report [--out f.json] [--gates N] [--dffs N]"
+                     " [--threads 1,2,4,8] [--repeat R]\n");
+        return 2;
+      }
+    }
+
+    std::printf("bench_report: %d-gate circuit, %d hardware thread(s)\n",
+                spec.gates, hardware_threads());
+    const Netlist nl = generate_random_circuit(spec);
+    CellLibrary lib;
+    const RetimingGraph g(nl, lib);
+    std::vector<KernelReport> kernels;
+
+    kernels.push_back(measure(
+        "wd_construct", "all-pairs W/D over the retiming graph", threads,
+        repeat, [&] {
+          WdMatrices wd(g);
+          std::vector<std::uint64_t> fp;
+          fp.push_back(fingerprint_bytes(wd.candidate_periods()));
+          return fp;
+        }));
+
+    {
+      SimConfig cfg;
+      cfg.patterns = 256;
+      cfg.frames = 2;
+      cfg.warmup = 4;
+      kernels.push_back(measure(
+          "obs_exact", "flip-and-resimulate, 256 patterns x 2 frames",
+          threads, repeat, [&] {
+            ObservabilityAnalyzer engine(nl, cfg);
+            const ObsResult r =
+                engine.run(ObservabilityAnalyzer::Mode::kExact);
+            return std::vector<std::uint64_t>{fingerprint_bytes(r.obs)};
+          }));
+    }
+
+    {
+      SimConfig cfg;
+      cfg.patterns = 2048;
+      cfg.frames = 8;
+      cfg.warmup = 8;
+      kernels.push_back(measure(
+          "obs_signature", "backward ODC, 2048 patterns x 8 frames", threads,
+          repeat, [&] {
+            ObservabilityAnalyzer engine(nl, cfg);
+            const ObsResult r =
+                engine.run(ObservabilityAnalyzer::Mode::kSignature);
+            return std::vector<std::uint64_t>{fingerprint_bytes(r.obs)};
+          }));
+    }
+
+    {
+      SerOptions opt;
+      opt.timing = {100.0, 0.0, 2.0};
+      opt.sim.patterns = 512;
+      opt.sim.frames = 4;
+      opt.sim.warmup = 8;
+      kernels.push_back(measure(
+          "ser_sweep", "Eq.(4) sweep, signature obs, 512 patterns x 4 frames",
+          threads, repeat, [&] {
+            const SerReport rep = analyze_ser(nl, lib, opt);
+            std::vector<std::uint64_t> fp;
+            fp.push_back(fingerprint_bytes(rep.contribution));
+            fp.push_back(fingerprint_bytes(std::vector<double>{
+                rep.total, rep.combinational, rep.sequential}));
+            return fp;
+          }));
+    }
+
+    bool all_identical = true;
+    for (const KernelReport& k : kernels) all_identical &= k.identical;
+    SERELIN_REQUIRE(all_identical,
+                    "kernel results differ across thread counts — "
+                    "determinism contract violated, refusing to write report");
+    write_json(out_path, spec, kernels);
+    std::printf("wrote %s\n", out_path);
+    return 0;
+  } catch (const Error& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+}

@@ -15,6 +15,8 @@
 //   --frames <n>       time-frame expansion depth (default 15)
 //   --area-weight <w>  §VII area-augmented objective (default 0)
 //   --seed <s>         generator seed
+//   --threads <N>      worker threads for parallel kernels
+//                      (default: hardware concurrency; 1 = serial)
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -31,6 +33,7 @@
 #include "rgraph/apply.hpp"
 #include "ser/ser_analyzer.hpp"
 #include "support/check.hpp"
+#include "support/parallel.hpp"
 #include "support/table.hpp"
 
 namespace {
@@ -43,7 +46,7 @@ using namespace serelin;
                "usage: serelin_cli <command> ...\n"
                "  stats    <circuit>\n"
                "  analyze  <circuit> [--period P] [--patterns K] "
-               "[--frames n]\n"
+               "[--frames n] [--threads N]\n"
                "  retime   <in> <out> [--algorithm minobswin|minobs|"
                "minarea]\n"
                "           [--period P] [--rmin R] [--patterns K] "
@@ -78,6 +81,7 @@ struct Options {
   int patterns = 2048;
   int frames = 15;
   double area_weight = 0.0;
+  int threads = 0;  // 0 = hardware concurrency
   std::uint64_t seed = 1;
   std::string algorithm = "minobswin";
   std::string suite;
@@ -97,6 +101,7 @@ Options parse(int argc, char** argv, int first) {
     else if (a == "--patterns") opt.patterns = std::atoi(value());
     else if (a == "--frames") opt.frames = std::atoi(value());
     else if (a == "--area-weight") opt.area_weight = std::atof(value());
+    else if (a == "--threads") opt.threads = std::atoi(value());
     else if (a == "--seed") opt.seed = std::strtoull(value(), nullptr, 10);
     else if (a == "--algorithm") opt.algorithm = value();
     else if (a == "--suite") opt.suite = value();
@@ -235,6 +240,8 @@ int main(int argc, char** argv) {
   const std::string cmd = argv[1];
   try {
     Options opt = parse(argc, argv, 2);
+    if (opt.threads < 0) usage("--threads must be >= 0 (0 = hardware)");
+    set_execution_threads(opt.threads);
     if (cmd == "stats") return cmd_stats(opt);
     if (cmd == "analyze") return cmd_analyze(opt);
     if (cmd == "retime") return cmd_retime(opt);

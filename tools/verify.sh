@@ -1,0 +1,31 @@
+#!/usr/bin/env bash
+# Tier-1 verification: the regular build + full test suite, then the
+# parallel determinism suite under ThreadSanitizer (gating on zero races).
+#
+#   tools/verify.sh [--skip-tsan]
+#
+# Run from the repository root. Exits non-zero on the first failure.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+SKIP_TSAN=0
+[[ "${1:-}" == "--skip-tsan" ]] && SKIP_TSAN=1
+
+echo "== tier-1: build + ctest =="
+cmake -B build -S . > /dev/null
+cmake --build build -j"$(nproc)"
+(cd build && ctest --output-on-failure -j"$(nproc)")
+
+if [[ "$SKIP_TSAN" == 1 ]]; then
+  echo "== tsan: skipped =="
+  exit 0
+fi
+
+echo "== tsan: parallel suite under ThreadSanitizer =="
+cmake -B build-tsan -S . -DSERELIN_TSAN=ON > /dev/null
+cmake --build build-tsan -j"$(nproc)" --target serelin_tests
+# TSAN aborts with a non-zero exit on any data race (halt_on_error not
+# needed: the default exit code 66 on detected races fails the script).
+TSAN_OPTIONS="exitcode=66" \
+  ./build-tsan/tests/serelin_tests --gtest_filter='Parallel*'
+echo "verify: OK"
