@@ -17,13 +17,16 @@ namespace {
 class BundleGrower {
  public:
   BundleGrower(const RetimingGraph& g, const ObsGains& gains,
-               const ConstraintChecker& checker, GraphTiming& timing)
-      : g_(g), gains_(gains), checker_(checker), timing_(timing) {}
+               const ConstraintChecker& checker, GraphTiming& timing,
+               const Deadline& deadline)
+      : g_(g), gains_(gains), checker_(checker), timing_(timing),
+        deadline_(deadline) {}
 
   enum class Status {
     kCommitted,    ///< feasible improving bundle applied to r
     kExcluded,     ///< a seed was excluded (unfixable or worst cluster)
     kDead,         ///< nothing improving here and nothing to exclude
+    kStopped,      ///< deadline/cancel hit mid-growth; r untouched
   };
 
   Status grow_and_commit(const std::vector<VertexId>& seeds, Retiming& r,
@@ -41,6 +44,9 @@ class BundleGrower {
     }
     const std::int64_t cap = 4096 + 64 * static_cast<std::int64_t>(n);
     for (std::int64_t step = 0; step < cap; ++step) {
+      // Abandoning a half-grown bundle is safe: `r` is only replaced on
+      // commit, so the caller keeps its last feasible retiming.
+      if (deadline_.expired()) return Status::kStopped;
       Retiming cand = r;
       for (VertexId v : members_) cand[v] -= delta_[v];
       timing_.compute(cand);
@@ -98,6 +104,7 @@ class BundleGrower {
   const ObsGains& gains_;
   const ConstraintChecker& checker_;
   GraphTiming& timing_;
+  const Deadline& deadline_;
   std::vector<std::int32_t> delta_;
   std::vector<char> movers_;
   std::vector<VertexId> sponsor_;
@@ -128,14 +135,30 @@ SolverResult ClosureSolver::solve(const Retiming& initial) const {
   }
 
   const std::size_t n = g_->vertex_count();
-  BundleGrower grower(*g_, *gains_, checker, timing);
+  BundleGrower grower(*g_, *gains_, checker, timing, opt_.deadline);
   std::vector<char> excluded(n, 0);
+
+  const auto stop = [&](const char* where) {
+    out.stop_reason = opt_.deadline.status();
+    if (out.stop_reason == StopReason::kNone)
+      out.stop_reason = StopReason::kDeadline;
+    out.stop_detail = std::string(stop_reason_name(out.stop_reason)) +
+                      " during ClosureSolver (" + where + ") after " +
+                      std::to_string(out.commits) +
+                      " commit(s); returning best feasible retiming";
+  };
 
   using Status = BundleGrower::Status;
   for (;;) {
+    if (const StopReason sr = opt_.deadline.status();
+        sr != StopReason::kNone) {
+      stop("outer loop");
+      break;
+    }
     // Joint bundle with iterative seed pruning: excluded seeds drop out
     // until the bundle commits or dies (mirrors trees leaving V_P).
     bool committed = false;
+    bool stopped = false;
     for (;;) {
       std::vector<VertexId> seeds;
       for (VertexId v = 0; v < n; ++v)
@@ -147,19 +170,31 @@ SolverResult ClosureSolver::solve(const Retiming& initial) const {
         committed = true;
         break;
       }
+      if (st == Status::kStopped) {
+        stopped = true;
+        break;
+      }
       if (st == Status::kDead) break;
       // kExcluded: retry with the reduced seed set.
     }
-    if (!committed) {
+    if (!committed && !stopped) {
       // Fallback: each surviving seed alone.
       for (VertexId s = 0; s < n; ++s) {
         if (excluded[s] || !g_->movable(s) || gains_->gain[s] <= 0) continue;
-        if (grower.grow_and_commit({s}, out.r, excluded, out) ==
-            Status::kCommitted) {
+        const Status st = grower.grow_and_commit({s}, out.r, excluded, out);
+        if (st == Status::kCommitted) {
           committed = true;
           break;
         }
+        if (st == Status::kStopped) {
+          stopped = true;
+          break;
+        }
       }
+    }
+    if (stopped) {
+      stop("bundle growth");
+      break;
     }
     if (!committed) break;
     // A commit changes the landscape: re-admit every seed.

@@ -62,6 +62,7 @@ InitResult initialize_retiming(const RetimingGraph& g,
   MinPeriodRetimer::Options mp;
   mp.setup = options.setup;
   mp.max_passes = options.feas_passes;
+  mp.deadline = options.deadline;
   MinPeriodRetimer retimer(g, mp);
   const auto min_result = retimer.minimize();
 

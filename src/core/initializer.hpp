@@ -17,6 +17,7 @@
 #pragma once
 
 #include "rgraph/retiming_graph.hpp"
+#include "support/deadline.hpp"
 #include "timing/params.hpp"
 
 namespace serelin {
@@ -29,6 +30,10 @@ struct InitOptions {
   /// Round the relaxed period up to an integer (the paper's Table I lists
   /// integer Φ); disable for tests with fractional delays.
   bool integer_period = true;
+  /// Forwarded to the inner MinPeriodRetimer: on expiry the period search
+  /// stops at its best feasible point (the initialization stays legal,
+  /// just possibly with a looser Φ than the true minimum).
+  Deadline deadline;
 };
 
 struct InitResult {

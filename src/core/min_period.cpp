@@ -20,6 +20,9 @@ std::optional<Retiming> MinPeriodRetimer::retime_for_period(
                           : static_cast<int>(g_->vertex_count());
   std::vector<char> moves(g_->vertex_count(), 0);
   for (int pass = 0; pass < passes; ++pass) {
+    // An interrupted probe reports "not feasible for phi" — conservative
+    // and safe; minimize() notices the expiry itself and stops cleanly.
+    if (opt_.deadline.expired()) return std::nullopt;
     timing.compute(r);
     bool violated = false;
     // Candidate moves: violated movable vertices.
@@ -69,18 +72,26 @@ MinPeriodRetimer::Result MinPeriodRetimer::minimize() const {
     hi = std::max(hi, timing.arrival(v) + opt_.setup);
     lo = std::max(lo, g_->vertex(v).delay + opt_.setup);
   }
-  Result best{hi, zero};
+  Result best{hi, zero, StopReason::kNone};
   if (auto r = retime_for_period(hi, zero)) best.r = std::move(*r);
-  while (hi - lo > opt_.tolerance) {
+  for (;;) {
+    // Checked before the convergence test: an already-expired deadline
+    // must surface as a Partial result even when the search interval is
+    // degenerate (the upper-bound probe above was interrupted too).
+    if (const StopReason sr = opt_.deadline.status();
+        sr != StopReason::kNone) {
+      best.stop_reason = sr;  // best-so-far: r achieves best.period
+      return best;
+    }
+    if (hi - lo <= opt_.tolerance) return best;
     const double mid = 0.5 * (lo + hi);
     if (auto r = retime_for_period(mid, zero)) {
       hi = mid;
-      best = Result{mid, std::move(*r)};
+      best = Result{mid, std::move(*r), StopReason::kNone};
     } else {
       lo = mid;
     }
   }
-  return best;
 }
 
 }  // namespace serelin

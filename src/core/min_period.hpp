@@ -14,6 +14,7 @@
 #include <optional>
 
 #include "rgraph/retiming_graph.hpp"
+#include "support/deadline.hpp"
 #include "timing/params.hpp"
 
 namespace serelin {
@@ -27,6 +28,11 @@ class MinPeriodRetimer {
     int max_passes = 0;
     /// Binary-search resolution on the period.
     double tolerance = 1e-3;
+    /// Wall-clock / cancellation budget. On expiry minimize() stops the
+    /// binary search and returns the best feasible result found so far
+    /// (stop_reason set); a FEAS probe interrupted mid-run counts as
+    /// infeasible for its probe period, never as an illegal retiming.
+    Deadline deadline;
   };
 
   MinPeriodRetimer(const RetimingGraph& g, Options options);
@@ -38,6 +44,11 @@ class MinPeriodRetimer {
   struct Result {
     double period = 0.0;  ///< smallest feasible period found
     Retiming r;           ///< a retiming achieving it
+    /// kNone: converged to tolerance. Otherwise the search stopped early;
+    /// `r` still legally achieves `period` (it may just not be minimal).
+    StopReason stop_reason = StopReason::kNone;
+
+    bool partial() const { return stop_reason != StopReason::kNone; }
   };
 
   /// Minimal-period retiming (within tolerance).

@@ -36,6 +36,18 @@ int MinObsWinSolver::run_pass(const ConstraintChecker& checker,
   std::vector<char> movers(g_->vertex_count(), 0);
   std::string trail;  // recent violations, reported on budget exhaustion
   for (;;) {
+    // Deadline checkpoint: here out.r is feasible (the initial retiming,
+    // or the state after the last commit/revert), so stopping now yields
+    // a legal best-so-far result.
+    if (const StopReason sr = opt_.deadline.status();
+        sr != StopReason::kNone) {
+      out.stop_reason = sr;
+      out.stop_detail = std::string(stop_reason_name(sr)) +
+                        " during MinObsWin after " +
+                        std::to_string(out.commits) +
+                        " commit(s); returning best feasible retiming";
+      break;
+    }
     const std::vector<VertexId> candidate = forest.positive_set();
     if (candidate.empty()) break;  // no improving closed set remains
     SERELIN_ASSERT(out.iterations < cap,
@@ -117,7 +129,8 @@ SolverResult MinObsWinSolver::solve(const Retiming& initial) const {
   // circuit state can unlock moves an earlier constraint froze. Passes
   // repeat while they commit; each commit strictly improves the bounded
   // objective, so the restart loop terminates.
-  while (run_pass(checker, timing, out) > 0) {
+  while (out.stop_reason == StopReason::kNone &&
+         run_pass(checker, timing, out) > 0) {
   }
   return out;
 }

@@ -29,9 +29,11 @@
 #pragma once
 
 #include <cstdint>
+#include <string>
 
 #include "core/objective.hpp"
 #include "rgraph/retiming_graph.hpp"
+#include "support/deadline.hpp"
 #include "timing/params.hpp"
 
 namespace serelin {
@@ -46,6 +48,10 @@ struct SolverOptions {
   /// amortizes the O(|V|+|E|) label recomputation; 1 reproduces the
   /// strictly sequential Algorithm-1 schedule.
   std::size_t violation_batch = 256;
+  /// Wall-clock / cancellation budget. Solvers poll it between feasible
+  /// checkpoints; on expiry they return the best feasible retiming found
+  /// so far with stop_reason set (a Partial result), never an illegal one.
+  Deadline deadline;
 };
 
 struct SolverResult {
@@ -55,6 +61,14 @@ struct SolverResult {
   std::int64_t objective_gain = 0;  ///< K-scaled drop of Eq. (5)
   bool exited_early = false;  ///< initial retiming already infeasible; it
                               ///< was returned unchanged (paper's b18/b19)
+  /// kNone: the solver converged. kDeadline/kCancelled: it stopped early
+  /// at a feasible checkpoint; `r` is the best retiming committed so far.
+  StopReason stop_reason = StopReason::kNone;
+  std::string stop_detail;  ///< human-readable account of an early stop
+
+  /// True when this is a best-so-far (deadline/cancel) result rather than
+  /// a converged one.
+  bool partial() const { return stop_reason != StopReason::kNone; }
 };
 
 class MinObsWinSolver {

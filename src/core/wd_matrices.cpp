@@ -29,20 +29,24 @@ struct WdScratch {
 
 }  // namespace
 
-WdMatrices::WdMatrices(const RetimingGraph& g) : n_(g.vertex_count()) {
+WdMatrices::WdMatrices(const RetimingGraph& g, Deadline deadline)
+    : n_(g.vertex_count()) {
   w_.assign(n_ * n_, kUnreachable);
   d_.assign(n_ * n_, 0.0);
 
   // One independent single-source computation per vertex; source s writes
   // only its own row slices w_[s·n .. (s+1)·n) and d_[..], so results are
-  // bit-identical for any thread count.
+  // bit-identical for any thread count. The deadline-aware overload checks
+  // once per source (each source is a full Dijkstra + DP, plenty coarse)
+  // and rethrows CancelledError on the caller.
   std::vector<WdScratch> scratch(
       static_cast<std::size_t>(parallel_workers()));
   const std::size_t grain =
       std::max<std::size_t>(1, n_ / (static_cast<std::size_t>(
                                          parallel_workers()) *
                                      8));
-  parallel_for(0, n_, grain, [&](std::size_t src, int lane) {
+  parallel_for(0, n_, grain, deadline, "WdMatrices", [&](std::size_t src,
+                                                         int lane) {
     const VertexId s = static_cast<VertexId>(src);
     WdScratch& sc = scratch[static_cast<std::size_t>(lane)];
     sc.prepare(n_);
@@ -186,25 +190,34 @@ std::optional<Retiming> wd_retime_for_period(const RetimingGraph& g,
 }
 
 WdMinPeriodResult wd_min_period(const RetimingGraph& g, const WdMatrices& wd,
-                                double setup) {
+                                double setup, Deadline deadline) {
   const std::vector<double> budgets = wd.candidate_periods();
   SERELIN_REQUIRE(!budgets.empty(), "graph without paths");
   // Binary search the smallest feasible candidate (feasibility is monotone
-  // in the period).
+  // in the period). The best feasible probe is kept as it is found, so an
+  // expired deadline can stop the search at any point with a legal
+  // (if not yet minimal) result in hand.
   std::size_t lo = 0, hi = budgets.size() - 1;
-  SERELIN_REQUIRE(
-      wd_retime_for_period(g, wd, budgets[hi] + setup, setup).has_value(),
-      "even the critical path period is infeasible");
-  while (lo < hi) {
-    const std::size_t mid = (lo + hi) / 2;
-    if (wd_retime_for_period(g, wd, budgets[mid] + setup, setup))
-      hi = mid;
-    else
-      lo = mid + 1;
-  }
+  auto first = wd_retime_for_period(g, wd, budgets[hi] + setup, setup);
+  SERELIN_REQUIRE(first.has_value(),
+                  "even the critical path period is infeasible");
   WdMinPeriodResult out;
-  out.period = budgets[lo] + setup;
-  out.r = *wd_retime_for_period(g, wd, out.period, setup);
+  out.period = budgets[hi] + setup;
+  out.r = std::move(*first);
+  while (lo < hi) {
+    if (const StopReason sr = deadline.status(); sr != StopReason::kNone) {
+      out.stop_reason = sr;
+      return out;
+    }
+    const std::size_t mid = (lo + hi) / 2;
+    if (auto r = wd_retime_for_period(g, wd, budgets[mid] + setup, setup)) {
+      hi = mid;
+      out.period = budgets[mid] + setup;
+      out.r = std::move(*r);
+    } else {
+      lo = mid + 1;
+    }
+  }
   return out;
 }
 

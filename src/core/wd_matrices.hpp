@@ -26,6 +26,7 @@
 #include <vector>
 
 #include "rgraph/retiming_graph.hpp"
+#include "support/deadline.hpp"
 
 namespace serelin {
 
@@ -37,7 +38,10 @@ class WdMatrices {
   /// Computes both matrices: per-source Dijkstra on register counts, then
   /// a longest-delay DP over each source's tight-edge DAG.
   /// O(|V|·|E|·log|V|) time, Θ(|V|²) memory — intentionally.
-  explicit WdMatrices(const RetimingGraph& g);
+  /// The matrices are all-or-nothing (a half-filled W/D pair is useless),
+  /// so an expired deadline throws CancelledError instead of returning a
+  /// partial object.
+  explicit WdMatrices(const RetimingGraph& g, Deadline deadline = Deadline());
 
   std::size_t size() const { return n_; }
 
@@ -75,11 +79,18 @@ std::optional<Retiming> wd_retime_for_period(const RetimingGraph& g,
                                              double phi, double setup = 0.0);
 
 /// Exact minimal feasible period: binary search over candidate_periods().
+/// With a deadline, the search stops at expiry and returns the smallest
+/// period proven feasible so far (`r` legally achieves `period`; it may
+/// not be minimal) with stop_reason set.
 struct WdMinPeriodResult {
   double period = 0.0;
   Retiming r;
+  StopReason stop_reason = StopReason::kNone;
+
+  bool partial() const { return stop_reason != StopReason::kNone; }
 };
 WdMinPeriodResult wd_min_period(const RetimingGraph& g, const WdMatrices& wd,
-                                double setup = 0.0);
+                                double setup = 0.0,
+                                Deadline deadline = Deadline());
 
 }  // namespace serelin

@@ -1,0 +1,144 @@
+#include "gen/fault_inject.hpp"
+
+#include <algorithm>
+#include <utility>
+#include <vector>
+
+#include "gen/random_circuit.hpp"
+
+namespace serelin {
+
+namespace {
+
+std::vector<std::string> split_lines(const std::string& text) {
+  std::vector<std::string> lines;
+  std::size_t start = 0;
+  while (start <= text.size()) {
+    const std::size_t nl = text.find('\n', start);
+    if (nl == std::string::npos) {
+      if (start < text.size()) lines.push_back(text.substr(start));
+      break;
+    }
+    lines.push_back(text.substr(start, nl - start));
+    start = nl + 1;
+  }
+  return lines;
+}
+
+std::string join_lines(const std::vector<std::string>& lines) {
+  std::string out;
+  for (const std::string& l : lines) {
+    out += l;
+    out += '\n';
+  }
+  return out;
+}
+
+std::string random_garbage(Rng& rng) {
+  static constexpr char kChars[] =
+      "abcdefghijklmnopqrstuvwxyz0123456789()=,. \t_";
+  const std::size_t len = rng.below(40) + 1;
+  std::string s(len, ' ');
+  for (char& c : s) c = kChars[rng.below(sizeof(kChars) - 1)];
+  return s;
+}
+
+}  // namespace
+
+std::string mutate_text(std::string text, Rng& rng,
+                        const MutateOptions& opt) {
+  const int rounds =
+      1 + static_cast<int>(rng.below(
+              static_cast<std::uint64_t>(std::max(1, opt.max_mutations))));
+  for (int round = 0; round < rounds; ++round) {
+    switch (rng.below(9)) {
+      case 0: {  // flip one byte
+        if (text.empty()) break;
+        const std::size_t pos = rng.below(text.size());
+        text[pos] = static_cast<char>(
+            static_cast<unsigned char>(text[pos]) ^
+            static_cast<unsigned char>(1 + rng.below(255)));
+        break;
+      }
+      case 1: {  // truncate mid-stream
+        if (text.empty()) break;
+        text.resize(rng.below(text.size()));
+        break;
+      }
+      case 2: {  // delete a line
+        auto lines = split_lines(text);
+        if (lines.empty()) break;
+        lines.erase(lines.begin() +
+                    static_cast<std::ptrdiff_t>(rng.below(lines.size())));
+        text = join_lines(lines);
+        break;
+      }
+      case 3: {  // duplicate a line (multiply-driven signals)
+        auto lines = split_lines(text);
+        if (lines.empty()) break;
+        const std::size_t i = rng.below(lines.size());
+        lines.insert(lines.begin() + static_cast<std::ptrdiff_t>(i),
+                     lines[i]);
+        text = join_lines(lines);
+        break;
+      }
+      case 4: {  // swap two lines (definition-order damage)
+        auto lines = split_lines(text);
+        if (lines.size() < 2) break;
+        const std::size_t i = rng.below(lines.size());
+        const std::size_t j = rng.below(lines.size());
+        std::swap(lines[i], lines[j]);
+        text = join_lines(lines);
+        break;
+      }
+      case 5: {  // insert a garbage line
+        auto lines = split_lines(text);
+        lines.insert(
+            lines.begin() +
+                static_cast<std::ptrdiff_t>(rng.below(lines.size() + 1)),
+            random_garbage(rng));
+        text = join_lines(lines);
+        break;
+      }
+      case 6: {  // splice raw non-ASCII / control bytes
+        std::string junk(1 + rng.below(8), '\0');
+        for (char& c : junk)
+          c = static_cast<char>(rng.chance(0.5) ? 0x80 + rng.below(0x80)
+                                                : rng.below(0x20));
+        text.insert(rng.below(text.size() + 1), junk);
+        break;
+      }
+      case 7: {  // structural-character typo
+        if (text.empty()) break;
+        static constexpr char kStructural[] = "()=,.";
+        text[rng.below(text.size())] =
+            kStructural[rng.below(sizeof(kStructural) - 1)];
+        break;
+      }
+      case 8: {  // rename one identifier occurrence (undefined references)
+        if (text.empty()) break;
+        const std::size_t pos = rng.below(text.size());
+        const char c = text[pos];
+        if ((c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+            (c >= '0' && c <= '9'))
+          text[pos] = static_cast<char>('a' + rng.below(26));
+        break;
+      }
+    }
+  }
+  return text;
+}
+
+Netlist random_victim(Rng& rng) {
+  RandomCircuitSpec spec;
+  spec.name = "victim";
+  spec.gates = 10 + static_cast<int>(rng.below(60));
+  spec.dffs = 2 + static_cast<int>(rng.below(12));
+  spec.inputs = 2 + static_cast<int>(rng.below(6));
+  spec.outputs = 2 + static_cast<int>(rng.below(6));
+  spec.mean_fanin = 1.5 + rng.uniform();
+  spec.seed = rng.next();
+  return generate_random_circuit(spec);
+}
+
+}  // namespace serelin

@@ -1,9 +1,11 @@
 #include "netlist/bench_io.hpp"
 
 #include <fstream>
+#include <optional>
 #include <sstream>
 
 #include "netlist/builder.hpp"
+#include "netlist/io_common.hpp"
 #include "support/check.hpp"
 #include "support/strings.hpp"
 
@@ -11,35 +13,125 @@ namespace serelin {
 
 namespace {
 
-/// Parses "KEYWORD(arg)" or "KEYWORD(a, b, c)"; returns {keyword, args}.
-std::pair<std::string_view, std::vector<std::string_view>> parse_call(
-    std::string_view text, int line_no) {
+/// Parses "KEYWORD(arg)" or "KEYWORD(a, b, c)"; returns {keyword, args},
+/// or nullopt after reporting a bench-syntax diagnostic.
+std::optional<std::pair<std::string_view, std::vector<std::string_view>>>
+parse_call(std::string_view text, int line_no, DiagnosticSink& sink) {
   const std::size_t open = text.find('(');
   const std::size_t close = text.rfind(')');
   if (open == std::string_view::npos || close == std::string_view::npos ||
-      close < open)
-    throw ParseError(".bench line " + std::to_string(line_no) +
-                     ": expected KEYWORD(args)");
+      close < open) {
+    sink.error(DiagCode::kBenchSyntax, line_no, "expected KEYWORD(args)");
+    return std::nullopt;
+  }
   const std::string_view keyword = trim(text.substr(0, open));
   const std::string_view inner = text.substr(open + 1, close - open - 1);
   std::vector<std::string_view> args;
   for (std::string_view piece : split(inner, ","))
     args.push_back(trim(piece));
-  if (keyword.empty())
-    throw ParseError(".bench line " + std::to_string(line_no) +
-                     ": missing keyword before '('");
-  return {keyword, args};
+  if (keyword.empty()) {
+    sink.error(DiagCode::kBenchSyntax, line_no,
+               "missing keyword before '('");
+    return std::nullopt;
+  }
+  return std::make_pair(keyword, std::move(args));
+}
+
+/// One line of the grammar; defects are reported and the line skipped.
+void parse_line(std::string_view line, int line_no, NetlistBuilder& builder,
+                DiagnosticSink& sink) {
+  const std::size_t eq = line.find('=');
+  if (eq == std::string_view::npos) {
+    // Directive form: INPUT(sig) or OUTPUT(sig).
+    const auto call = parse_call(line, line_no, sink);
+    if (!call) return;
+    const auto& [keyword, args] = *call;
+    const std::string up = to_upper(keyword);
+    if (up != "INPUT" && up != "OUTPUT") {
+      sink.error(DiagCode::kBenchUnknownDirective, line_no,
+                 "unknown directive '" + up + "'");
+      return;
+    }
+    if (args.size() != 1 || args[0].empty()) {
+      sink.error(DiagCode::kBenchArity, line_no,
+                 up + " takes exactly one signal");
+      return;
+    }
+    if (up == "INPUT")
+      builder.input(std::string(args[0])).at_line(line_no);
+    else
+      builder.output(std::string(args[0]));
+    return;
+  }
+
+  // Assignment form: sig = GATE(a, b, ...).
+  const std::string out_name{trim(line.substr(0, eq))};
+  if (out_name.empty()) {
+    sink.error(DiagCode::kBenchSyntax, line_no,
+               "missing signal name before '='");
+    return;
+  }
+  const auto call = parse_call(line.substr(eq + 1), line_no, sink);
+  if (!call) return;
+  const auto& [keyword, args] = *call;
+  const std::optional<CellType> type = try_parse_cell_type(keyword);
+  if (!type) {
+    sink.error(DiagCode::kBenchUnknownGate, line_no,
+               "unknown gate keyword '" + std::string(keyword) + "'");
+    return;
+  }
+  if (*type == CellType::kInput) {
+    sink.error(DiagCode::kBenchSyntax, line_no,
+               "INPUT cannot appear on the right of '='");
+    return;
+  }
+  std::vector<std::string> fanins;
+  fanins.reserve(args.size());
+  for (std::string_view a : args) {
+    if (a.empty()) {
+      sink.error(DiagCode::kBenchArity, line_no, "empty fanin name");
+      return;
+    }
+    fanins.emplace_back(a);
+  }
+  if (*type == CellType::kDff) {
+    if (fanins.size() != 1) {
+      sink.error(DiagCode::kBenchArity, line_no,
+                 "DFF takes exactly one fanin");
+      return;
+    }
+    builder.dff(out_name, fanins[0]).at_line(line_no);
+  } else if (*type == CellType::kConst0 || *type == CellType::kConst1) {
+    if (!fanins.empty()) {
+      sink.error(DiagCode::kBenchArity, line_no,
+                 "constants take no fanins");
+      return;
+    }
+    builder.constant(out_name, *type == CellType::kConst1).at_line(line_no);
+  } else {
+    const int fi = static_cast<int>(fanins.size());
+    if (fi < min_fanins(*type) || fi > max_fanins(*type)) {
+      sink.error(DiagCode::kBenchArity, line_no,
+                 std::string(cell_type_name(*type)) + " cannot take " +
+                     std::to_string(fi) + " fanins");
+      return;
+    }
+    builder.gate(out_name, *type, std::move(fanins)).at_line(line_no);
+  }
 }
 
 }  // namespace
 
-Netlist read_bench(std::istream& in, std::string circuit_name) {
+Netlist read_bench(std::istream& in, std::string circuit_name,
+                   DiagnosticSink& sink) {
   NetlistBuilder builder(circuit_name);
   std::string raw;
   int line_no = 0;
   while (std::getline(in, raw)) {
     ++line_no;
     std::string_view line = raw;
+    if (!line.empty() && line.back() == '\r')
+      line = line.substr(0, line.size() - 1);
     // Strip comments (both '#' and the occasional '//').
     if (const auto hash = line.find('#'); hash != std::string_view::npos)
       line = line.substr(0, hash);
@@ -47,70 +139,38 @@ Netlist read_bench(std::istream& in, std::string circuit_name) {
       line = line.substr(0, slashes);
     line = trim(line);
     if (line.empty()) continue;
-
-    const std::size_t eq = line.find('=');
-    if (eq == std::string_view::npos) {
-      // Directive form: INPUT(sig) or OUTPUT(sig).
-      auto [keyword, args] = parse_call(line, line_no);
-      const std::string up = to_upper(keyword);
-      if (args.size() != 1)
-        throw ParseError(".bench line " + std::to_string(line_no) + ": " + up +
-                         " takes exactly one signal");
-      if (up == "INPUT") {
-        builder.input(std::string(args[0]));
-      } else if (up == "OUTPUT") {
-        builder.output(std::string(args[0]));
-      } else {
-        throw ParseError(".bench line " + std::to_string(line_no) +
-                         ": unknown directive '" + up + "'");
-      }
+    // Outside comments the format is pure printable ASCII; anything else
+    // is corruption (a truncated download, binary data, encoding damage).
+    if (!ioutil::ascii_clean(line)) {
+      sink.error(DiagCode::kBadByte, line_no,
+                 "non-ASCII or control bytes; line skipped");
       continue;
     }
-
-    // Assignment form: sig = GATE(a, b, ...).
-    const std::string out_name{trim(line.substr(0, eq))};
-    if (out_name.empty())
-      throw ParseError(".bench line " + std::to_string(line_no) +
-                       ": missing signal name before '='");
-    auto [keyword, args] = parse_call(line.substr(eq + 1), line_no);
-    const CellType type = parse_cell_type(keyword);
-    if (type == CellType::kInput)
-      throw ParseError(".bench line " + std::to_string(line_no) +
-                       ": INPUT cannot appear on the right of '='");
-    std::vector<std::string> fanins;
-    fanins.reserve(args.size());
-    for (std::string_view a : args) {
-      if (a.empty())
-        throw ParseError(".bench line " + std::to_string(line_no) +
-                         ": empty fanin name");
-      fanins.emplace_back(a);
-    }
-    if (type == CellType::kDff) {
-      if (fanins.size() != 1)
-        throw ParseError(".bench line " + std::to_string(line_no) +
-                         ": DFF takes exactly one fanin");
-      builder.dff(out_name, fanins[0]);
-    } else if (type == CellType::kConst0 || type == CellType::kConst1) {
-      if (!fanins.empty())
-        throw ParseError(".bench line " + std::to_string(line_no) +
-                         ": constants take no fanins");
-      builder.constant(out_name, type == CellType::kConst1);
-    } else {
-      builder.gate(out_name, type, std::move(fanins));
-    }
+    parse_line(line, line_no, builder, sink);
   }
-  return builder.build();
+  ioutil::check_stream(in, sink);
+  return builder.build(sink);
+}
+
+Netlist read_bench(std::istream& in, std::string circuit_name) {
+  DiagnosticSink sink;
+  Netlist nl = read_bench(in, std::move(circuit_name), sink);
+  sink.throw_if_errors(".bench parse failed");
+  return nl;
+}
+
+Netlist read_bench_file(const std::string& path, DiagnosticSink& sink) {
+  std::ifstream in;
+  if (!ioutil::open_text_input(path, in, sink))
+    return NetlistBuilder(ioutil::path_stem(path)).build(sink);
+  return read_bench(in, ioutil::path_stem(path), sink);
 }
 
 Netlist read_bench_file(const std::string& path) {
-  std::ifstream in(path);
-  if (!in) throw ParseError("cannot open .bench file: " + path);
-  std::string stem = path;
-  if (const auto slash = stem.find_last_of('/'); slash != std::string::npos)
-    stem = stem.substr(slash + 1);
-  if (const auto dot = stem.find_last_of('.'); dot != std::string::npos)
-    stem = stem.substr(0, dot);
-  return read_bench(in, stem);
+  DiagnosticSink sink;
+  Netlist nl = read_bench_file(path, sink);
+  sink.throw_if_errors("cannot parse .bench file");
+  return nl;
 }
 
 void write_bench(std::ostream& out, const Netlist& nl) {

@@ -9,21 +9,43 @@
 // Keywords are case-insensitive; whitespace is free-form; signals may be
 // referenced before definition (feedback). The writer emits canonical form
 // that the reader round-trips exactly.
+//
+// Two parsing modes share one implementation:
+//  * strict  — the 2-argument overloads. The whole input is consumed and
+//    every defect collected; a single DiagnosticError (a ParseError) is
+//    raised at the end carrying the full diagnostic list.
+//  * recovering — the DiagnosticSink overloads. Bad lines are skipped,
+//    structural damage is repaired (see NetlistBuilder::build(sink)), the
+//    returned netlist is always finalized, and nothing is thrown for
+//    malformed input. Callers inspect the sink.
 #pragma once
 
 #include <iosfwd>
 #include <string>
 
 #include "netlist/netlist.hpp"
+#include "support/diag.hpp"
 
 namespace serelin {
 
-/// Parses .bench text. `circuit_name` names the resulting netlist.
-/// Throws ParseError on malformed input.
+/// Parses .bench text (strict). `circuit_name` names the resulting
+/// netlist. Throws DiagnosticError with every collected diagnostic when
+/// the input is malformed.
 Netlist read_bench(std::istream& in, std::string circuit_name = "circuit");
 
-/// Parses a .bench file from disk (name defaults to the file stem).
+/// Parses .bench text (recovering): defects become diagnostics in `sink`,
+/// damaged constructs are skipped or repaired, and a finalized netlist is
+/// always returned. Never throws on malformed input.
+Netlist read_bench(std::istream& in, std::string circuit_name,
+                   DiagnosticSink& sink);
+
+/// Parses a .bench file from disk, strict (name defaults to the file stem).
 Netlist read_bench_file(const std::string& path);
+
+/// Parses a .bench file from disk, recovering. Open failures and mid-read
+/// stream errors are diagnostics too (io-not-found / io-unreadable /
+/// io-stream-error); an unopenable file yields an empty netlist.
+Netlist read_bench_file(const std::string& path, DiagnosticSink& sink);
 
 /// Writes canonical .bench text.
 void write_bench(std::ostream& out, const Netlist& nl);

@@ -1,10 +1,12 @@
 #include "netlist/blif_io.hpp"
 
 #include <fstream>
+#include <optional>
 #include <sstream>
 #include <vector>
 
 #include "netlist/builder.hpp"
+#include "netlist/io_common.hpp"
 #include "support/check.hpp"
 #include "support/strings.hpp"
 
@@ -22,10 +24,9 @@ struct Cover {
 };
 
 /// Evaluates the cover on one input assignment (bit i of `assignment` is
-/// fanin i). BLIF semantics: the output is the cover value if some row's
-/// input plane matches, else its complement... precisely: rows with output
-/// bit 1 define the on-set, rows with 0 define the off-set; a single
-/// .names block must use one polarity (checked by the caller).
+/// fanin i). BLIF semantics: rows with output bit 1 define the on-set,
+/// rows with 0 define the off-set; a single .names block must use one
+/// polarity (checked by classify_cover).
 bool cover_matches_row(const std::string& plane, unsigned assignment) {
   for (std::size_t i = 0; i < plane.size(); ++i) {
     const bool bit = (assignment >> i) & 1u;
@@ -52,27 +53,41 @@ bool eval_type(CellType t, unsigned assignment, int arity) {
 }
 
 /// Maps a cover to a serelin cell type by exhaustive truth-table match
-/// (arity <= 12). Throws ParseError when the function is none of ours.
-CellType classify_cover(const Cover& c) {
+/// (arity <= 12). Reports a blif-cover diagnostic and returns nullopt when
+/// the function is none of ours.
+std::optional<CellType> classify_cover(const Cover& c, DiagnosticSink& sink) {
   const int arity = static_cast<int>(c.fanins.size());
-  SERELIN_REQUIRE(arity <= 12,
-                  "BLIF cover for '" + c.output + "' has fanin " +
-                      std::to_string(arity) + " (classifier limit: 12)");
+  if (arity > 12) {
+    sink.error(DiagCode::kBlifCover, c.line_no,
+               "cover for '" + c.output + "' has fanin " +
+                   std::to_string(arity) + " (classifier limit: 12)");
+    return std::nullopt;
+  }
   char polarity = c.rows.empty() ? '1' : c.rows.front().second;
   for (const auto& [plane, bit] : c.rows) {
-    if (static_cast<int>(plane.size()) != arity)
-      throw ParseError("BLIF line " + std::to_string(c.line_no) +
-                       ": cover row arity mismatch for '" + c.output + "'");
-    if (bit != polarity)
-      throw ParseError("BLIF line " + std::to_string(c.line_no) +
-                       ": mixed on-set/off-set cover for '" + c.output + "'");
-    if (bit != '0' && bit != '1')
-      throw ParseError("BLIF line " + std::to_string(c.line_no) +
-                       ": cover output bit must be 0 or 1");
-    for (char ch : plane)
-      if (ch != '0' && ch != '1' && ch != '-')
-        throw ParseError("BLIF line " + std::to_string(c.line_no) +
-                         ": cover plane may contain only 0, 1, -");
+    if (static_cast<int>(plane.size()) != arity) {
+      sink.error(DiagCode::kBlifCover, c.line_no,
+                 "cover row arity mismatch for '" + c.output + "'");
+      return std::nullopt;
+    }
+    if (bit != polarity) {
+      sink.error(DiagCode::kBlifCover, c.line_no,
+                 "mixed on-set/off-set cover for '" + c.output + "'");
+      return std::nullopt;
+    }
+    if (bit != '0' && bit != '1') {
+      sink.error(DiagCode::kBlifCover, c.line_no,
+                 "cover output bit must be 0 or 1 for '" + c.output + "'");
+      return std::nullopt;
+    }
+    for (char ch : plane) {
+      if (ch != '0' && ch != '1' && ch != '-') {
+        sink.error(DiagCode::kBlifCover, c.line_no,
+                   "cover plane may contain only 0, 1, - for '" + c.output +
+                       "'");
+        return std::nullopt;
+      }
+    }
   }
   static constexpr CellType kCandidates[] = {
       CellType::kConst0, CellType::kConst1, CellType::kBuf, CellType::kNot,
@@ -80,32 +95,41 @@ CellType classify_cover(const Cover& c) {
       CellType::kXor,    CellType::kXnor};
   for (CellType t : kCandidates) {
     if (arity < min_fanins(t) || arity > max_fanins(t)) continue;
-    if (arity == 0 &&
-        !(t == CellType::kConst0 || t == CellType::kConst1))
+    if (arity == 0 && !(t == CellType::kConst0 || t == CellType::kConst1))
       continue;
     bool match = true;
     for (unsigned a = 0; a < (1u << arity) && match; ++a)
       match = eval_cover(c, a) == eval_type(t, a, arity);
     if (match) return t;
   }
-  throw ParseError("BLIF line " + std::to_string(c.line_no) +
-                   ": cover for '" + c.output +
-                   "' is not a recognized gate function (serelin is "
-                   "gate-based; run technology mapping first)");
+  sink.error(DiagCode::kBlifCover, c.line_no,
+             "cover for '" + c.output +
+                 "' is not a recognized gate function (serelin is "
+                 "gate-based; run technology mapping first)");
+  return std::nullopt;
 }
 
-/// Reads logical lines: strips comments, joins '\' continuations.
-std::vector<std::pair<std::string, int>> logical_lines(std::istream& in) {
+/// Reads logical lines: strips comments and CR, joins '\' continuations,
+/// flags non-ASCII physical lines (skipped).
+std::vector<std::pair<std::string, int>> logical_lines(std::istream& in,
+                                                       DiagnosticSink& sink) {
   std::vector<std::pair<std::string, int>> out;
   std::string raw, acc;
   int line_no = 0, acc_line = 0;
   while (std::getline(in, raw)) {
     ++line_no;
     std::string_view line = raw;
+    if (!line.empty() && line.back() == '\r')
+      line = line.substr(0, line.size() - 1);
     if (const auto hash = line.find('#'); hash != std::string_view::npos)
       line = line.substr(0, hash);
     bool cont = false;
     std::string_view trimmed = trim(line);
+    if (!trimmed.empty() && !ioutil::ascii_clean(trimmed)) {
+      sink.error(DiagCode::kBadByte, line_no,
+                 "non-ASCII or control bytes; line skipped");
+      trimmed = {};
+    }
     if (!trimmed.empty() && trimmed.back() == '\\') {
       cont = true;
       trimmed = trim(trimmed.substr(0, trimmed.size() - 1));
@@ -121,13 +145,15 @@ std::vector<std::pair<std::string, int>> logical_lines(std::istream& in) {
     }
   }
   if (!acc.empty()) out.emplace_back(std::move(acc), acc_line);
+  ioutil::check_stream(in, sink);
   return out;
 }
 
 }  // namespace
 
-Netlist read_blif(std::istream& in, std::string fallback_name) {
-  const auto lines = logical_lines(in);
+Netlist read_blif(std::istream& in, std::string fallback_name,
+                  DiagnosticSink& sink) {
+  const auto lines = logical_lines(in, sink);
   std::string model_name = std::move(fallback_name);
   std::vector<std::string> inputs, outputs;
   std::vector<std::pair<std::string, std::string>> latches;  // (out, in)
@@ -153,9 +179,12 @@ Netlist read_blif(std::istream& in, std::string fallback_name) {
       ++i;
     } else if (head == ".LATCH") {
       // .latch <input> <output> [<type> <control>] [<init-val>]
-      if (tokens.size() < 3)
-        throw ParseError("BLIF line " + std::to_string(line_no) +
-                         ": .latch needs input and output");
+      if (tokens.size() < 3) {
+        sink.error(DiagCode::kBlifSyntax, line_no,
+                   ".latch needs input and output");
+        ++i;
+        continue;
+      }
       latches.emplace_back(std::string(tokens[2]), std::string(tokens[1]));
       ++i;
     } else if (head == ".NAMES") {
@@ -163,27 +192,38 @@ Netlist read_blif(std::istream& in, std::string fallback_name) {
       c.line_no = line_no;
       for (std::size_t k = 1; k + 1 < tokens.size(); ++k)
         c.fanins.emplace_back(tokens[k]);
-      if (tokens.size() < 2)
-        throw ParseError("BLIF line " + std::to_string(line_no) +
-                         ": .names needs an output");
-      c.output = std::string(tokens.back());
+      const bool header_ok = tokens.size() >= 2;
+      if (!header_ok)
+        sink.error(DiagCode::kBlifSyntax, line_no, ".names needs an output");
+      else
+        c.output = std::string(tokens.back());
       ++i;
+      bool rows_ok = true;
       while (i < lines.size() && lines[i].first[0] != '.') {
         const auto row = split(lines[i].first, " \t");
         if (c.fanins.empty()) {
-          if (row.size() != 1)
-            throw ParseError("BLIF line " + std::to_string(lines[i].second) +
-                             ": constant cover row must be a single bit");
-          c.rows.emplace_back("", row[0][0]);
+          if (row.size() != 1 || row[0].size() != 1) {
+            sink.error(DiagCode::kBlifSyntax, lines[i].second,
+                       "constant cover row must be a single bit");
+            rows_ok = false;
+          } else {
+            c.rows.emplace_back("", row[0][0]);
+          }
         } else {
-          if (row.size() != 2 || row[1].size() != 1)
-            throw ParseError("BLIF line " + std::to_string(lines[i].second) +
-                             ": cover row must be '<plane> <bit>'");
-          c.rows.emplace_back(std::string(row[0]), row[1][0]);
+          if (row.size() != 2 || row[1].size() != 1) {
+            sink.error(DiagCode::kBlifSyntax, lines[i].second,
+                       "cover row must be '<plane> <bit>'");
+            rows_ok = false;
+          } else {
+            c.rows.emplace_back(std::string(row[0]), row[1][0]);
+          }
         }
         ++i;
       }
-      covers.push_back(std::move(c));
+      if (header_ok && rows_ok) covers.push_back(std::move(c));
+      // A cover with bad rows still defines its output signal: demote it
+      // to a synthesized input so consumers stay connected.
+      if (header_ok && !rows_ok) inputs.push_back(c.output);
     } else if (head == ".END") {
       ended = true;
     } else if (head == ".SEARCH" || head == ".CLOCK" ||
@@ -191,36 +231,52 @@ Netlist read_blif(std::istream& in, std::string fallback_name) {
                head == ".DEFAULT_OUTPUT_REQUIRED") {
       ++i;  // tolerated and ignored
     } else {
-      throw ParseError("BLIF line " + std::to_string(line_no) +
-                       ": unsupported construct '" + std::string(tokens[0]) +
-                       "'");
+      sink.error(DiagCode::kBlifUnsupported, line_no,
+                 "unsupported construct '" + std::string(tokens[0]) + "'");
+      ++i;
     }
   }
+  if (!ended && !lines.empty())
+    sink.warning(DiagCode::kBlifMissingEnd,
+                 lines.empty() ? 0 : lines.back().second,
+                 "file ended without .end");
 
   NetlistBuilder builder(model_name);
   for (const std::string& s : inputs) builder.input(s);
   for (const std::string& s : outputs) builder.output(s);
   for (const auto& [q, d] : latches) builder.dff(q, d);
   for (const Cover& c : covers) {
-    const CellType t = classify_cover(c);
-    if (t == CellType::kConst0 || t == CellType::kConst1) {
-      builder.constant(c.output, t == CellType::kConst1);
+    const std::optional<CellType> t = classify_cover(c, sink);
+    if (!t) {
+      builder.input(c.output).at_line(c.line_no);
+    } else if (*t == CellType::kConst0 || *t == CellType::kConst1) {
+      builder.constant(c.output, *t == CellType::kConst1).at_line(c.line_no);
     } else {
-      builder.gate(c.output, t, c.fanins);
+      builder.gate(c.output, *t, c.fanins).at_line(c.line_no);
     }
   }
-  return builder.build();
+  return builder.build(sink);
+}
+
+Netlist read_blif(std::istream& in, std::string fallback_name) {
+  DiagnosticSink sink;
+  Netlist nl = read_blif(in, std::move(fallback_name), sink);
+  sink.throw_if_errors("BLIF parse failed");
+  return nl;
+}
+
+Netlist read_blif_file(const std::string& path, DiagnosticSink& sink) {
+  std::ifstream in;
+  if (!ioutil::open_text_input(path, in, sink))
+    return NetlistBuilder(ioutil::path_stem(path)).build(sink);
+  return read_blif(in, ioutil::path_stem(path), sink);
 }
 
 Netlist read_blif_file(const std::string& path) {
-  std::ifstream in(path);
-  if (!in) throw ParseError("cannot open BLIF file: " + path);
-  std::string stem = path;
-  if (const auto slash = stem.find_last_of('/'); slash != std::string::npos)
-    stem = stem.substr(slash + 1);
-  if (const auto dot = stem.find_last_of('.'); dot != std::string::npos)
-    stem = stem.substr(0, dot);
-  return read_blif(in, stem);
+  DiagnosticSink sink;
+  Netlist nl = read_blif_file(path, sink);
+  sink.throw_if_errors("cannot parse BLIF file");
+  return nl;
 }
 
 namespace {

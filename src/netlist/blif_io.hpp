@@ -11,26 +11,42 @@
 //                              constants, BUF, NOT, AND, OR, NAND, NOR,
 //                              XOR, XNOR (any arity)
 //   .end, comments (#), line continuation ('\')
-// Covers that match no recognized function are rejected with a ParseError
-// naming the signal — serelin's SER model is gate-based, so arbitrary LUTs
-// would need a technology-mapping step that is out of scope.
+// Covers that match no recognized function are rejected — serelin's SER
+// model is gate-based, so arbitrary LUTs would need a technology-mapping
+// step that is out of scope.
 //
 // The writer emits one .names cover per gate (and .latch per flip-flop),
 // readable by ABC/SIS and by this reader (round-trip tested).
+//
+// Mirrors bench_io's two modes: the 2-argument overloads are strict (one
+// DiagnosticError raised at the end carrying every collected diagnostic),
+// the DiagnosticSink overloads recover (bad constructs become diagnostics
+// and are skipped or repaired; nothing is thrown for malformed input).
 #pragma once
 
 #include <iosfwd>
 #include <string>
 
 #include "netlist/netlist.hpp"
+#include "support/diag.hpp"
 
 namespace serelin {
 
-/// Parses BLIF text; throws ParseError on malformed or unsupported input.
+/// Parses BLIF text (strict); throws DiagnosticError on malformed or
+/// unsupported input, after consuming the whole stream.
 Netlist read_blif(std::istream& in, std::string fallback_name = "circuit");
 
-/// Parses a .blif file from disk.
+/// Parses BLIF text (recovering): defects become diagnostics in `sink`
+/// and a finalized netlist is always returned.
+Netlist read_blif(std::istream& in, std::string fallback_name,
+                  DiagnosticSink& sink);
+
+/// Parses a .blif file from disk, strict.
 Netlist read_blif_file(const std::string& path);
+
+/// Parses a .blif file from disk, recovering (open and stream failures are
+/// diagnostics; an unopenable file yields an empty netlist).
+Netlist read_blif_file(const std::string& path, DiagnosticSink& sink);
 
 /// Writes the netlist as structural BLIF.
 void write_blif(std::ostream& out, const Netlist& nl);

@@ -37,6 +37,11 @@ NetlistBuilder& NetlistBuilder::constant(std::string name, bool value) {
   return *this;
 }
 
+NetlistBuilder& NetlistBuilder::at_line(int line) {
+  if (!decls_.empty()) decls_.back().line = line;
+  return *this;
+}
+
 Netlist NetlistBuilder::build() {
   SERELIN_REQUIRE(!built_, "NetlistBuilder::build() called twice");
   built_ = true;
@@ -117,6 +122,174 @@ Netlist NetlistBuilder::build() {
       nl.set_dff_input(node_of[i], node_of[lookup(d.fanins[0])]);
   }
   for (const std::string& out : output_names_) nl.mark_output(node_of[lookup(out)]);
+  nl.finalize();
+  return nl;
+}
+
+Netlist NetlistBuilder::build(DiagnosticSink& sink) {
+  SERELIN_REQUIRE(!built_, "NetlistBuilder::build() called twice");
+  built_ = true;
+
+  // Pass 0: sanitize declarations. Empty names, illegal arities and empty
+  // fanin names make a declaration unusable as written; it is demoted to a
+  // synthesized input (keeping the signal defined for its consumers) or,
+  // for an empty name, dropped outright.
+  std::vector<Decl> decls;
+  decls.reserve(decls_.size());
+  for (Decl& d : decls_) {
+    if (d.name.empty()) {
+      sink.error(DiagCode::kNetBadArity, d.line,
+                 "declaration with empty signal name dropped");
+      continue;
+    }
+    bool bad = false;
+    const int fi = static_cast<int>(d.fanins.size());
+    if (d.type == CellType::kDff) {
+      bad = fi != 1;
+    } else if (is_gate(d.type)) {
+      bad = fi < min_fanins(d.type) || fi > max_fanins(d.type);
+    } else {
+      bad = fi != 0;
+    }
+    for (const std::string& f : d.fanins) bad = bad || f.empty();
+    if (bad) {
+      sink.error(DiagCode::kNetBadArity, d.line,
+                 "'" + d.name + "' (" +
+                     std::string(cell_type_name(d.type)) +
+                     ") has a malformed fanin list; demoted to an input");
+      decls.push_back({d.name, CellType::kInput, {}, d.line});
+      continue;
+    }
+    decls.push_back(std::move(d));
+  }
+
+  // Pass 1: first definition wins; later redefinitions are dropped.
+  std::unordered_map<std::string, std::size_t> decl_index;
+  {
+    std::vector<Decl> unique;
+    unique.reserve(decls.size());
+    for (Decl& d : decls) {
+      if (decl_index.emplace(d.name, unique.size()).second) {
+        unique.push_back(std::move(d));
+      } else {
+        sink.error(DiagCode::kNetMultiplyDriven, d.line,
+                   "signal '" + d.name +
+                       "' defined more than once; first definition wins");
+      }
+    }
+    decls = std::move(unique);
+  }
+
+  // Pass 2: synthesize an input for every name that is referenced (by a
+  // fanin or an OUTPUT) but never defined.
+  auto synthesize = [&](const std::string& name, DiagCode code, int line,
+                        const std::string& what) {
+    if (decl_index.count(name)) return;
+    sink.error(code, line, what);
+    decl_index.emplace(name, decls.size());
+    decls.push_back({name, CellType::kInput, {}, line});
+  };
+  for (std::size_t i = 0, defined = decls.size(); i < defined; ++i) {
+    const Decl d = decls[i];  // copy: decls grows inside the loop
+    for (const std::string& f : d.fanins) {
+      if (d.type == CellType::kDff) {
+        synthesize(f, DiagCode::kNetDffMissingDriver, d.line,
+                   "flip-flop '" + d.name + "' D pin references undefined '" +
+                       f + "'; input synthesized");
+      } else {
+        synthesize(f, DiagCode::kNetUndefined, d.line,
+                   "signal '" + f + "' referenced by '" + d.name +
+                       "' but never defined; input synthesized");
+      }
+    }
+  }
+  for (const std::string& out : output_names_)
+    synthesize(out, DiagCode::kNetUndefined, 0,
+               "OUTPUT references undefined signal '" + out +
+                   "'; input synthesized");
+
+  auto lookup = [&](const std::string& name) {
+    const auto it = decl_index.find(name);
+    SERELIN_ASSERT(it != decl_index.end(), "reference escaped synthesis");
+    return it->second;
+  };
+
+  Netlist nl(circuit_name_);
+  std::vector<NodeId> node_of(decls.size(), kNullNode);
+  // Gates demoted to inputs while cutting combinational cycles.
+  std::vector<char> demoted(decls.size(), 0);
+
+  // Pass 3: sources, then flip-flops with dangling D (as in strict build).
+  for (std::size_t i = 0; i < decls.size(); ++i) {
+    const Decl& d = decls[i];
+    if (d.type == CellType::kInput || d.type == CellType::kConst0 ||
+        d.type == CellType::kConst1)
+      node_of[i] = nl.add_node(d.name, d.type, {});
+  }
+  for (std::size_t i = 0; i < decls.size(); ++i) {
+    const Decl& d = decls[i];
+    if (d.type == CellType::kDff)
+      node_of[i] = nl.add_node(d.name, d.type, {kNullNode});
+  }
+
+  // Pass 4: gates in dependency order; a back edge (grey target) is a
+  // combinational cycle — the target gate is demoted to a synthesized
+  // input on the spot (its node id is created immediately, so dependents
+  // resolve; when its own frame completes the gate creation is skipped).
+  enum class Mark : std::uint8_t { kWhite, kGrey, kBlack };
+  std::vector<Mark> mark(decls.size(), Mark::kWhite);
+  auto is_live_gate = [&](std::size_t i) {
+    return is_gate(decls[i].type) && !demoted[i];
+  };
+  for (std::size_t root = 0; root < decls.size(); ++root) {
+    if (!is_live_gate(root) || mark[root] != Mark::kWhite) continue;
+    std::vector<std::pair<std::size_t, std::size_t>> stack;
+    stack.emplace_back(root, 0);
+    mark[root] = Mark::kGrey;
+    while (!stack.empty()) {
+      auto& [i, next] = stack.back();
+      const Decl& d = decls[i];
+      if (!demoted[i] && next < d.fanins.size()) {
+        const std::size_t dep = lookup(d.fanins[next]);
+        ++next;
+        if (is_live_gate(dep)) {
+          if (mark[dep] == Mark::kGrey) {
+            sink.error(DiagCode::kNetCombCycle, decls[dep].line,
+                       "combinational cycle through signal '" +
+                           decls[dep].name +
+                           "'; gate demoted to an input to cut it");
+            demoted[dep] = 1;
+            node_of[dep] = nl.add_node(decls[dep].name, CellType::kInput, {});
+          } else if (mark[dep] == Mark::kWhite) {
+            mark[dep] = Mark::kGrey;
+            stack.emplace_back(dep, 0);
+          }
+        }
+        continue;
+      }
+      if (!demoted[i]) {
+        std::vector<NodeId> fanin_ids;
+        fanin_ids.reserve(d.fanins.size());
+        for (const std::string& f : d.fanins) {
+          const NodeId fid = node_of[lookup(f)];
+          SERELIN_ASSERT(fid != kNullNode, "dependency order broke");
+          fanin_ids.push_back(fid);
+        }
+        node_of[i] = nl.add_node(d.name, d.type, std::move(fanin_ids));
+      }
+      mark[i] = Mark::kBlack;
+      stack.pop_back();
+    }
+  }
+
+  // Pass 5: patch flip-flop D inputs, mark outputs, finalize.
+  for (std::size_t i = 0; i < decls.size(); ++i) {
+    const Decl& d = decls[i];
+    if (d.type == CellType::kDff)
+      nl.set_dff_input(node_of[i], node_of[lookup(d.fanins[0])]);
+  }
+  for (const std::string& out : output_names_)
+    nl.mark_output(node_of[lookup(out)]);
   nl.finalize();
   return nl;
 }

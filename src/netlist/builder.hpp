@@ -10,6 +10,7 @@
 #include <vector>
 
 #include "netlist/netlist.hpp"
+#include "support/diag.hpp"
 
 namespace serelin {
 
@@ -38,11 +39,31 @@ class NetlistBuilder {
   /// cycles. The builder is consumed (one-shot).
   Netlist build();
 
+  /// Recovering build: structural defects become diagnostics in `sink`
+  /// and are repaired instead of aborting the build —
+  ///   * multiply-driven signal        -> first definition wins
+  ///   * undefined reference           -> a primary input is synthesized
+  ///   * DFF with an undefined D pin   -> same, with its own code
+  ///   * combinational cycle           -> one member gate is demoted to a
+  ///                                      synthesized input (cycle cut)
+  ///   * illegal arity / empty names   -> declaration dropped or demoted
+  /// Every repair is an ERROR-severity diagnostic (the input was wrong);
+  /// the returned netlist is always finalized and structurally legal.
+  /// Callers wanting strict semantics use sink.throw_if_errors() after.
+  /// Optionally records each decl's source line for diagnostics via
+  /// set_source_line().
+  Netlist build(DiagnosticSink& sink);
+
+  /// Tags the most recently added declaration with its source line, so
+  /// build(sink) diagnostics point at the offending input line.
+  NetlistBuilder& at_line(int line);
+
  private:
   struct Decl {
     std::string name;
     CellType type;
     std::vector<std::string> fanins;
+    int line = 0;
   };
 
   std::string circuit_name_;

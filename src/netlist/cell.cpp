@@ -26,7 +26,7 @@ std::string_view cell_type_name(CellType type) {
   SERELIN_ASSERT(false, "unreachable cell type");
 }
 
-CellType parse_cell_type(std::string_view keyword) {
+std::optional<CellType> try_parse_cell_type(std::string_view keyword) {
   const std::string up = to_upper(keyword);
   if (up == "INPUT") return CellType::kInput;
   if (up == "DFF") return CellType::kDff;
@@ -40,6 +40,11 @@ CellType parse_cell_type(std::string_view keyword) {
   if (up == "XNOR") return CellType::kXnor;
   if (up == "CONST0" || up == "GND") return CellType::kConst0;
   if (up == "CONST1" || up == "VDD") return CellType::kConst1;
+  return std::nullopt;
+}
+
+CellType parse_cell_type(std::string_view keyword) {
+  if (const auto t = try_parse_cell_type(keyword)) return *t;
   throw ParseError("unknown cell type keyword: " + std::string(keyword));
 }
 

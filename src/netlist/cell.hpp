@@ -7,6 +7,7 @@
 #pragma once
 
 #include <cstdint>
+#include <optional>
 #include <span>
 #include <string_view>
 
@@ -36,6 +37,10 @@ std::string_view cell_type_name(CellType type);
 /// Parses a .bench keyword (case-insensitive; accepts BUF and BUFF).
 /// Throws ParseError on an unknown keyword.
 CellType parse_cell_type(std::string_view keyword);
+
+/// Non-throwing variant for the recovering parser: nullopt on an unknown
+/// keyword.
+std::optional<CellType> try_parse_cell_type(std::string_view keyword);
 
 /// True for nodes that source a value into the combinational network of a
 /// single clock cycle: primary inputs, flip-flop outputs and constants.

@@ -1,0 +1,49 @@
+#include "netlist/io_common.hpp"
+
+#include <filesystem>
+
+namespace serelin::ioutil {
+
+std::string path_stem(const std::string& path) {
+  std::string stem = path;
+  if (const auto slash = stem.find_last_of('/'); slash != std::string::npos)
+    stem = stem.substr(slash + 1);
+  if (const auto dot = stem.find_last_of('.'); dot != std::string::npos)
+    stem = stem.substr(0, dot);
+  return stem;
+}
+
+bool open_text_input(const std::string& path, std::ifstream& in,
+                     DiagnosticSink& sink) {
+  sink.set_file(path);
+  in.open(path);
+  if (in) return true;
+  std::error_code ec;
+  if (!std::filesystem::exists(path, ec)) {
+    sink.error(DiagCode::kIoNotFound, 0, "cannot open '" + path +
+                                             "': file not found");
+  } else {
+    sink.error(DiagCode::kIoUnreadable, 0,
+               "cannot open '" + path +
+                   "': file exists but is unreadable (permissions? "
+                   "directory?)");
+  }
+  return false;
+}
+
+bool ascii_clean(std::string_view s) {
+  for (const char c : s) {
+    const auto b = static_cast<unsigned char>(c);
+    if (b == '\t') continue;
+    if (b < 0x20 || b >= 0x7F) return false;
+  }
+  return true;
+}
+
+void check_stream(std::istream& in, DiagnosticSink& sink) {
+  if (in.bad())
+    sink.error(DiagCode::kIoStreamError, 0,
+               "I/O failure while reading; input truncated mid-stream");
+}
+
+}  // namespace serelin::ioutil

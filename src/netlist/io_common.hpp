@@ -1,0 +1,31 @@
+// Internal helpers shared by the .bench and BLIF readers: file opening
+// with distinguishable failure causes, path stemming, and byte hygiene.
+#pragma once
+
+#include <fstream>
+#include <string>
+#include <string_view>
+
+#include "support/diag.hpp"
+
+namespace serelin::ioutil {
+
+/// "dir/c880.bench" -> "c880".
+std::string path_stem(const std::string& path);
+
+/// Opens `path` for reading. On failure reports io-not-found (the path
+/// does not exist) or io-unreadable (it exists but cannot be opened) to
+/// `sink` and returns false. Also stamps the sink's file context.
+bool open_text_input(const std::string& path, std::ifstream& in,
+                     DiagnosticSink& sink);
+
+/// True when the line contains only printable ASCII and tabs — what a
+/// netlist text format may contain outside comments. A stray NUL, control
+/// or high byte means the input is binary junk or a corrupted file.
+bool ascii_clean(std::string_view s);
+
+/// Reports io-stream-error when the stream went bad (a mid-read I/O
+/// failure — as opposed to plain EOF, which is a short but valid read).
+void check_stream(std::istream& in, DiagnosticSink& sink);
+
+}  // namespace serelin::ioutil

@@ -1,0 +1,115 @@
+#include "netlist/validate.hpp"
+
+#include <vector>
+
+#include "netlist/builder.hpp"
+#include "support/check.hpp"
+
+namespace serelin {
+
+namespace {
+
+/// Marks every node in the input cone of a primary output (through gate
+/// fanins and DFF D pins).
+std::vector<char> live_cone(const Netlist& nl) {
+  std::vector<char> live(nl.node_count(), 0);
+  std::vector<NodeId> stack;
+  for (NodeId id : nl.outputs()) {
+    if (!live[id]) {
+      live[id] = 1;
+      stack.push_back(id);
+    }
+  }
+  while (!stack.empty()) {
+    const NodeId id = stack.back();
+    stack.pop_back();
+    for (NodeId f : nl.node(id).fanins) {
+      if (!live[f]) {
+        live[f] = 1;
+        stack.push_back(f);
+      }
+    }
+  }
+  return live;
+}
+
+}  // namespace
+
+std::size_t lint_netlist(const Netlist& nl, DiagnosticSink& sink) {
+  SERELIN_REQUIRE(nl.finalized(), "lint_netlist needs a finalized netlist");
+  std::size_t findings = 0;
+
+  if (nl.outputs().empty()) {
+    sink.error(DiagCode::kLintNoOutputs, 0,
+               "netlist '" + nl.name() + "' has no primary outputs");
+    ++findings;
+  }
+
+  const std::vector<char> live = live_cone(nl);
+  for (NodeId id = 0; id < nl.node_count(); ++id) {
+    const Node& n = nl.node(id);
+    const bool sinks_somewhere = !n.fanouts.empty() || nl.is_output(id);
+    if (n.type == CellType::kInput) {
+      if (!sinks_somewhere) {
+        sink.warning(DiagCode::kLintUnusedInput, 0,
+                     "input '" + n.name + "' is never read");
+        ++findings;
+      }
+      continue;
+    }
+    if (!sinks_somewhere) {
+      sink.warning(DiagCode::kLintDanglingNet, 0,
+                   "signal '" + n.name + "' (" +
+                       std::string(cell_type_name(n.type)) +
+                       ") drives nothing");
+      ++findings;
+    } else if (!live[id]) {
+      sink.warning(DiagCode::kLintUnreferenced, 0,
+                   "signal '" + n.name + "' (" +
+                       std::string(cell_type_name(n.type)) +
+                       ") is outside every output cone");
+      ++findings;
+    }
+  }
+  return findings;
+}
+
+Netlist repair_netlist(const Netlist& nl, DiagnosticSink& sink) {
+  SERELIN_REQUIRE(nl.finalized(), "repair_netlist needs a finalized netlist");
+  const std::vector<char> live = live_cone(nl);
+
+  NetlistBuilder builder(nl.name());
+  std::size_t swept = 0;
+  for (NodeId id = 0; id < nl.node_count(); ++id) {
+    const Node& n = nl.node(id);
+    if (n.type == CellType::kInput) {
+      builder.input(n.name);  // the interface survives repair
+      continue;
+    }
+    if (!live[id]) {
+      sink.note(DiagCode::kLintUnreferenced, 0,
+                "repair swept dead signal '" + n.name + "'");
+      ++swept;
+      continue;
+    }
+    if (n.type == CellType::kDff) {
+      builder.dff(n.name, nl.node(n.fanins[0]).name);
+    } else if (n.type == CellType::kConst0 || n.type == CellType::kConst1) {
+      builder.constant(n.name, n.type == CellType::kConst1);
+    } else {
+      std::vector<std::string> fanins;
+      fanins.reserve(n.fanins.size());
+      for (NodeId f : n.fanins) fanins.push_back(nl.node(f).name);
+      builder.gate(n.name, n.type, std::move(fanins));
+    }
+  }
+  for (NodeId id : nl.outputs()) builder.output(nl.node(id).name);
+  if (swept)
+    sink.note(DiagCode::kLintUnreferenced, 0,
+              "repair swept " + std::to_string(swept) + " dead signal(s)");
+  // The source netlist was finalized (legal) and we only removed whole
+  // dead cones, so the strict build cannot fail.
+  return builder.build();
+}
+
+}  // namespace serelin

@@ -1,0 +1,40 @@
+// Structural lint for finalized netlists, plus a warn-level repair pass.
+//
+// The builder's recovering build() already turns construction-time defects
+// (multiply-driven signals, undefined references, DFFs with missing
+// drivers, combinational cycles) into diagnostics and repairs them — those
+// can only be expressed on the way *into* a Netlist. This pass covers what
+// is only visible on the finished graph:
+//
+//   ERROR lint-no-outputs     the circuit drives no primary output, so
+//                             every downstream analysis is vacuous
+//   WARN  lint-dangling-net   a gate or flip-flop whose value goes
+//                             nowhere (no fanouts, not a primary output)
+//   WARN  lint-unreferenced   logic outside the input cone of every
+//                             primary output (a dead island that may
+//                             still have internal fanout)
+//   WARN  lint-unused-input   a primary input nothing reads
+//
+// repair_netlist() sweeps the warn-level findings: it rebuilds the netlist
+// keeping exactly the primary inputs (the interface is preserved) and the
+// backward cone of the primary outputs. Error-level findings are not
+// repairable here and are left to the caller.
+#pragma once
+
+#include "netlist/netlist.hpp"
+#include "support/diag.hpp"
+
+namespace serelin {
+
+/// Reports the lint findings above into `sink`. Requires a finalized
+/// netlist. Returns the number of findings (errors + warnings).
+std::size_t lint_netlist(const Netlist& nl, DiagnosticSink& sink);
+
+/// Returns a finalized copy of `nl` with warn-level lint findings swept:
+/// dead gates and flip-flops are dropped, primary inputs are all kept.
+/// Each removal is reported to `sink` as a NOTE. A netlist with no
+/// primary outputs collapses to its inputs (lint-no-outputs is reported
+/// as an error first — callers should lint before deciding to repair).
+Netlist repair_netlist(const Netlist& nl, DiagnosticSink& sink);
+
+}  // namespace serelin

@@ -78,6 +78,9 @@ ObsResult ObservabilityAnalyzer::run_signature() {
   out.obs.assign(n_nodes, 0.0);
 
   for (int frame = cfg_.frames - 1; frame >= 0; --frame) {
+    // Per-frame checkpoint: a partial ODC plane is not a valid
+    // approximation, so an expired deadline aborts the whole analysis.
+    cfg_.deadline.check("observability signature pass");
     // Re-evaluate frame `frame`.
     sim.load_state(states_[frame]);
     const auto& in = inputs_[frame];
@@ -229,7 +232,10 @@ ObsResult ObservabilityAnalyzer::run_exact() {
   };
   std::vector<LaneScratch> lanes(
       static_cast<std::size_t>(parallel_workers()));
-  parallel_for(0, nl_->node_count(), 1, [&](std::size_t v, int lane) {
+  // Deadline-aware fan-out: each lane polls before every flip-resimulate
+  // and the CancelledError is rethrown on the caller.
+  parallel_for(0, nl_->node_count(), 1, cfg_.deadline,
+               "observability exact pass", [&](std::size_t v, int lane) {
     LaneScratch& sc = lanes[static_cast<std::size_t>(lane)];
     if (!sc.sim) sc.sim = std::make_unique<Simulator>(*nl_, words_);
     observables(static_cast<NodeId>(v), *sc.sim, sc.gather, sc.plane);

@@ -4,6 +4,7 @@
 #include <cstdint>
 
 #include "support/check.hpp"
+#include "support/deadline.hpp"
 
 namespace serelin {
 
@@ -23,6 +24,12 @@ struct SimConfig {
 
   /// Seed for input patterns and warm-up.
   std::uint64_t seed = 0x5e7e11a5ULL;
+
+  /// Wall-clock / cancellation budget for the analysis. Observability
+  /// masks are all-or-nothing (a partially-propagated ODC plane is not a
+  /// usable approximation), so an expired deadline throws CancelledError
+  /// rather than returning partial results.
+  Deadline deadline;
 
   int words() const {
     SERELIN_REQUIRE(patterns > 0 && patterns % 64 == 0,

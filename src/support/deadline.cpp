@@ -1,0 +1,61 @@
+#include "support/deadline.hpp"
+
+#include <limits>
+
+namespace serelin {
+
+const char* stop_reason_name(StopReason r) {
+  switch (r) {
+    case StopReason::kNone:
+      return "none";
+    case StopReason::kDeadline:
+      return "deadline";
+    case StopReason::kCancelled:
+      return "cancelled";
+  }
+  return "none";
+}
+
+Deadline Deadline::after(double seconds) {
+  Deadline d;
+  d.timed_ = true;
+  d.at_ = Clock::now() +
+          std::chrono::duration_cast<Clock::duration>(
+              std::chrono::duration<double>(seconds > 0 ? seconds : 0));
+  return d;
+}
+
+Deadline Deadline::with_token(CancelToken token) {
+  Deadline d;
+  d.flag_ = std::move(token.flag_);
+  return d;
+}
+
+Deadline& Deadline::attach(CancelToken token) {
+  flag_ = std::move(token.flag_);
+  return *this;
+}
+
+StopReason Deadline::status() const {
+  if (flag_ && flag_->load(std::memory_order_relaxed))
+    return StopReason::kCancelled;
+  if (timed_ && Clock::now() >= at_) return StopReason::kDeadline;
+  return StopReason::kNone;
+}
+
+double Deadline::remaining_seconds() const {
+  if (flag_ && flag_->load(std::memory_order_relaxed)) return 0.0;
+  if (!timed_) return std::numeric_limits<double>::infinity();
+  const double left =
+      std::chrono::duration<double>(at_ - Clock::now()).count();
+  return left > 0 ? left : 0.0;
+}
+
+void Deadline::check(const char* where) const {
+  const StopReason r = status();
+  if (r == StopReason::kNone) return;
+  throw CancelledError(
+      r, std::string(where) + ": stopped (" + stop_reason_name(r) + ")");
+}
+
+}  // namespace serelin

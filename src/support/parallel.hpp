@@ -30,6 +30,7 @@
 #include <thread>
 #include <vector>
 
+#include "support/deadline.hpp"
 #include "support/rng.hpp"
 
 namespace serelin {
@@ -117,6 +118,29 @@ void parallel_for(std::size_t begin, std::size_t end, std::size_t grain,
       begin, end, grain,
       [&fn](std::size_t b, std::size_t e, int lane) {
         for (std::size_t i = b; i < e; ++i) fn(i, lane);
+      });
+}
+
+/// Deadline-aware parallel loop: every lane checks `deadline` before each
+/// iteration and the first expiry aborts the whole region by throwing
+/// CancelledError("<where>: ..."), rethrown on the calling thread. Use for
+/// fan-outs whose per-iteration work is substantial (a Dijkstra source, a
+/// full resimulation); tighter loops should poll a DeadlinePoller inside
+/// the body instead. An unlimited deadline costs nothing.
+template <typename Fn>
+void parallel_for(std::size_t begin, std::size_t end, std::size_t grain,
+                  const Deadline& deadline, const char* where, Fn&& fn) {
+  if (deadline.unlimited()) {
+    parallel_for(begin, end, grain, std::forward<Fn>(fn));
+    return;
+  }
+  detail::parallel_for_impl(
+      begin, end, grain,
+      [&fn, &deadline, where](std::size_t b, std::size_t e, int lane) {
+        for (std::size_t i = b; i < e; ++i) {
+          deadline.check(where);
+          fn(i, lane);
+        }
       });
 }
 

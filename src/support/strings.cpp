@@ -1,6 +1,8 @@
 #include "support/strings.hpp"
 
 #include <cctype>
+#include <charconv>
+#include <cmath>
 
 namespace serelin {
 
@@ -33,6 +35,33 @@ std::string to_upper(std::string_view s) {
 
 bool starts_with(std::string_view s, std::string_view prefix) {
   return s.substr(0, prefix.size()) == prefix;
+}
+
+std::optional<std::int64_t> parse_int(std::string_view s, std::int64_t lo,
+                                      std::int64_t hi) {
+  std::int64_t value = 0;
+  const char* end = s.data() + s.size();
+  const auto [ptr, ec] = std::from_chars(s.data(), end, value);
+  if (ec != std::errc{} || ptr != end || s.empty()) return std::nullopt;
+  if (value < lo || value > hi) return std::nullopt;
+  return value;
+}
+
+std::optional<std::uint64_t> parse_uint(std::string_view s) {
+  std::uint64_t value = 0;
+  const char* end = s.data() + s.size();
+  const auto [ptr, ec] = std::from_chars(s.data(), end, value);
+  if (ec != std::errc{} || ptr != end || s.empty()) return std::nullopt;
+  return value;
+}
+
+std::optional<double> parse_double(std::string_view s) {
+  double value = 0.0;
+  const char* end = s.data() + s.size();
+  const auto [ptr, ec] = std::from_chars(s.data(), end, value);
+  if (ec != std::errc{} || ptr != end || s.empty()) return std::nullopt;
+  if (!std::isfinite(value)) return std::nullopt;
+  return value;
 }
 
 }  // namespace serelin

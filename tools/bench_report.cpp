@@ -26,6 +26,7 @@
 #include "support/check.hpp"
 #include "support/parallel.hpp"
 #include "support/stopwatch.hpp"
+#include "support/strings.hpp"
 
 namespace {
 
@@ -44,6 +45,24 @@ struct KernelReport {
   bool identical = true;  // results bit-identical across thread counts
 };
 
+[[noreturn]] void usage_error(const std::string& msg) {
+  std::fprintf(stderr, "error: %s\n", msg.c_str());
+  std::fprintf(stderr,
+               "usage: bench_report [--out f.json] [--gates N] [--dffs N]"
+               " [--threads 1,2,4,8] [--repeat R]\n");
+  std::exit(64);
+}
+
+/// Checked "--gates banana" rejection: whole-string integer in [lo, hi].
+int parse_count(const char* flag, const char* arg, int lo, int hi) {
+  const auto v = parse_int(arg, lo, hi);
+  if (!v)
+    usage_error(std::string(flag) + " wants an integer in [" +
+                std::to_string(lo) + ", " + std::to_string(hi) + "], got '" +
+                arg + "'");
+  return static_cast<int>(*v);
+}
+
 std::vector<int> parse_threads(const char* arg) {
   std::vector<int> out;
   std::string s(arg);
@@ -51,11 +70,12 @@ std::vector<int> parse_threads(const char* arg) {
   while (pos < s.size()) {
     std::size_t comma = s.find(',', pos);
     if (comma == std::string::npos) comma = s.size();
-    out.push_back(std::atoi(s.substr(pos, comma - pos).c_str()));
+    const auto t = parse_int(s.substr(pos, comma - pos), 1, 4096);
+    if (!t) usage_error("--threads wants comma-separated counts >= 1");
+    out.push_back(static_cast<int>(*t));
     pos = comma + 1;
   }
-  SERELIN_REQUIRE(!out.empty(), "--threads needs at least one count");
-  for (int t : out) SERELIN_REQUIRE(t >= 1, "thread counts must be >= 1");
+  if (out.empty()) usage_error("--threads needs at least one count");
   return out;
 }
 
@@ -157,23 +177,20 @@ int main(int argc, char** argv) {
   try {
     for (int i = 1; i < argc; ++i) {
       auto value = [&]() -> const char* {
-        if (i + 1 >= argc) {
-          std::fprintf(stderr, "missing value for %s\n", argv[i]);
-          std::exit(2);
-        }
+        if (i + 1 >= argc)
+          usage_error(std::string("missing value for ") + argv[i]);
         return argv[++i];
       };
       if (!std::strcmp(argv[i], "--out")) out_path = value();
-      else if (!std::strcmp(argv[i], "--gates")) spec.gates = std::atoi(value());
-      else if (!std::strcmp(argv[i], "--dffs")) spec.dffs = std::atoi(value());
+      else if (!std::strcmp(argv[i], "--gates"))
+        spec.gates = parse_count("--gates", value(), 1, 10000000);
+      else if (!std::strcmp(argv[i], "--dffs"))
+        spec.dffs = parse_count("--dffs", value(), 0, 10000000);
       else if (!std::strcmp(argv[i], "--threads")) threads = parse_threads(value());
-      else if (!std::strcmp(argv[i], "--repeat")) repeat = std::atoi(value());
-      else {
-        std::fprintf(stderr,
-                     "usage: bench_report [--out f.json] [--gates N] [--dffs N]"
-                     " [--threads 1,2,4,8] [--repeat R]\n");
-        return 2;
-      }
+      else if (!std::strcmp(argv[i], "--repeat"))
+        repeat = parse_count("--repeat", value(), 1, 1000);
+      else
+        usage_error(std::string("unknown option ") + argv[i]);
     }
 
     std::printf("bench_report: %d-gate circuit, %d hardware thread(s)\n",
@@ -250,6 +267,9 @@ int main(int argc, char** argv) {
     return 0;
   } catch (const Error& e) {
     std::fprintf(stderr, "error: %s\n", e.what());
-    return 1;
+    return 70;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "internal error: %s\n", e.what());
+    return 70;
   }
 }

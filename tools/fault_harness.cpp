@@ -1,0 +1,272 @@
+// fault_harness — deterministic fault-injection robustness driver.
+//
+//   fault_harness [--seed S] [--iters N] [--deadline-ms M]
+//                 [--max-seconds T] [--verbose]
+//
+// Every iteration: generate a small random circuit, serialize it to
+// .bench or BLIF text, corrupt the text with seeded random damage
+// (byte flips, truncation, line surgery, binary junk — see
+// gen/fault_inject.hpp), then drive the full front end and solver stack:
+//
+//   1. recovering parse  — must NEVER throw; defects become diagnostics
+//   2. strict parse      — may throw ParseError (incl. DiagnosticError);
+//                          anything else is a bug
+//   3. lint + repair     — on the recovered netlist; must not throw
+//   4. retime under a deadline — MinObsWin from the Section-V start; an
+//      expired deadline must yield a *legal* best-so-far retiming
+//      (stop_reason set), a cancelled token likewise
+//
+// The invariant under test: hostile bytes can produce clean diagnostics,
+// typed exceptions, or Partial results — never a crash, hang, assertion
+// failure, or illegal retiming. Any violation prints the (seed, iteration)
+// pair that reproduces it and exits 1.
+#include <chrono>
+#include <cstdio>
+#include <exception>
+#include <sstream>
+#include <string>
+
+#include "core/initializer.hpp"
+#include "core/objective.hpp"
+#include "core/solver.hpp"
+#include "gen/fault_inject.hpp"
+#include "netlist/bench_io.hpp"
+#include "netlist/blif_io.hpp"
+#include "netlist/validate.hpp"
+#include "rgraph/retiming_graph.hpp"
+#include "sim/observability.hpp"
+#include "support/check.hpp"
+#include "support/deadline.hpp"
+#include "support/rng.hpp"
+#include "support/strings.hpp"
+
+namespace {
+
+using namespace serelin;
+
+struct HarnessOptions {
+  std::uint64_t seed = 1;
+  int iters = 500;
+  double deadline_ms = 5.0;
+  double max_seconds = 0.0;  // 0 = unbounded
+  bool verbose = false;
+};
+
+[[noreturn]] void usage(const char* msg) {
+  if (msg) std::fprintf(stderr, "error: %s\n", msg);
+  std::fprintf(stderr,
+               "usage: fault_harness [--seed S] [--iters N] "
+               "[--deadline-ms M] [--max-seconds T] [--verbose]\n");
+  std::exit(64);
+}
+
+HarnessOptions parse_args(int argc, char** argv) {
+  HarnessOptions opt;
+  for (int i = 1; i < argc; ++i) {
+    const std::string a = argv[i];
+    auto value = [&]() -> const char* {
+      if (i + 1 >= argc) usage(("missing value for " + a).c_str());
+      return argv[++i];
+    };
+    if (a == "--seed") {
+      const auto v = parse_uint(value());
+      if (!v) usage("--seed wants an unsigned integer");
+      opt.seed = *v;
+    } else if (a == "--iters") {
+      const auto v = parse_int(value(), 1, 1000000000);
+      if (!v) usage("--iters wants a positive integer");
+      opt.iters = static_cast<int>(*v);
+    } else if (a == "--deadline-ms") {
+      const auto v = parse_double(value());
+      if (!v || *v < 0) usage("--deadline-ms wants a non-negative number");
+      opt.deadline_ms = *v;
+    } else if (a == "--max-seconds") {
+      const auto v = parse_double(value());
+      if (!v || *v < 0) usage("--max-seconds wants a non-negative number");
+      opt.max_seconds = *v;
+    } else if (a == "--verbose") {
+      opt.verbose = true;
+    } else {
+      usage(("unknown option " + a).c_str());
+    }
+  }
+  return opt;
+}
+
+/// Tallies of how iterations resolved, printed in the final summary.
+struct Tally {
+  int parsed_clean = 0;    ///< corrupted text still parsed with no errors
+  int diagnosed = 0;       ///< recovering parse collected error diagnostics
+  int strict_threw = 0;    ///< strict parse raised ParseError
+  int solved = 0;          ///< retime ran to convergence
+  int partial = 0;         ///< retime stopped on deadline/cancel
+  int skipped = 0;         ///< recovered netlist too degenerate to retime
+};
+
+/// One iteration. Returns true on success; on failure prints the repro
+/// line and returns false.
+bool run_iteration(const HarnessOptions& opt, int iter, Tally& tally) {
+  std::uint64_t stream = opt.seed + 0x9e3779b97f4a7c15ULL *
+                                        static_cast<std::uint64_t>(iter + 1);
+  Rng rng(splitmix64(stream));
+  const bool use_blif = rng.chance(0.5);
+
+  // Victim circuit -> serialized text -> corrupted text.
+  std::string text;
+  {
+    const Netlist victim = random_victim(rng);
+    std::ostringstream os;
+    if (use_blif)
+      write_blif(os, victim);
+    else
+      write_bench(os, victim);
+    text = mutate_text(os.str(), rng);
+  }
+
+  const auto fail = [&](const char* phase, const char* what) {
+    std::fprintf(stderr,
+                 "FAIL iter %d (--seed %llu): %s: %s\n"
+                 "  reproduce: fault_harness --seed %llu --iters %d\n",
+                 iter, static_cast<unsigned long long>(opt.seed), phase,
+                 what, static_cast<unsigned long long>(opt.seed), iter + 1);
+    return false;
+  };
+
+  // Phase 1: recovering parse. The contract is unconditional: any throw
+  // on any byte sequence is a bug.
+  Netlist recovered;
+  DiagnosticSink sink;
+  try {
+    std::istringstream is(text);
+    recovered = use_blif ? read_blif(is, "victim", sink)
+                         : read_bench(is, "victim", sink);
+  } catch (const std::exception& e) {
+    return fail("recovering parse threw", e.what());
+  }
+  if (sink.error_count() > 0)
+    ++tally.diagnosed;
+  else
+    ++tally.parsed_clean;
+
+  // Phase 2: strict parse of the same text. ParseError (which includes
+  // DiagnosticError) is the designed rejection path; any other exception
+  // type escaping is a bug.
+  try {
+    std::istringstream is(text);
+    if (use_blif)
+      read_blif(is, "victim");
+    else
+      read_bench(is, "victim");
+  } catch (const ParseError&) {
+    ++tally.strict_threw;
+  } catch (const std::exception& e) {
+    return fail("strict parse threw non-ParseError", e.what());
+  }
+
+  // Phase 3: lint + warn-level repair on the recovered netlist.
+  Netlist repaired;
+  try {
+    DiagnosticSink lint_sink;
+    lint_netlist(recovered, lint_sink);
+    repaired = repair_netlist(recovered, lint_sink);
+  } catch (const std::exception& e) {
+    return fail("lint/repair threw", e.what());
+  }
+
+  if (repaired.gate_count() == 0 || repaired.outputs().empty()) {
+    ++tally.skipped;  // corruption gutted the circuit; nothing to retime
+    return true;
+  }
+
+  // Phase 4: retime under a deadline. Every third iteration uses an
+  // already-expired budget (forcing an immediate Partial), every fifth a
+  // pre-cancelled token; the rest race a small real budget.
+  try {
+    CellLibrary lib;
+    RetimingGraph g(repaired, lib);
+
+    Deadline deadline;
+    if (iter % 3 == 0) {
+      deadline = Deadline::after(0.0);
+    } else if (iter % 5 == 0) {
+      CancelToken token;
+      token.cancel();
+      deadline = Deadline::with_token(token);
+    } else {
+      deadline = Deadline::after(opt.deadline_ms / 1000.0);
+    }
+
+    SimConfig sim;
+    sim.patterns = 64;
+    sim.frames = 3;
+    sim.warmup = 4;
+    sim.deadline = deadline;
+    ObsResult obs;
+    try {
+      obs = ObservabilityAnalyzer(repaired, sim).run();
+    } catch (const CancelledError&) {
+      ++tally.partial;  // all-or-nothing kernel stopped cleanly
+      return true;
+    }
+
+    InitOptions init_opt;
+    init_opt.deadline = deadline;
+    const InitResult init = initialize_retiming(g, init_opt);
+
+    SolverOptions so;
+    so.timing = init.timing;
+    so.rmin = init.rmin;
+    so.deadline = deadline;
+    const ObsGains gains = compute_gains(g, obs.obs, sim.patterns);
+    const SolverResult result = MinObsWinSolver(g, gains, so).solve(init.r);
+
+    if (!g.valid(result.r))
+      return fail("solver", result.partial()
+                                ? "Partial result carries an invalid retiming"
+                                : "converged result carries an invalid "
+                                  "retiming");
+    if (result.partial()) {
+      if (result.stop_detail.empty())
+        return fail("solver", "Partial result without a structured reason");
+      ++tally.partial;
+    } else {
+      ++tally.solved;
+    }
+  } catch (const CancelledError&) {
+    ++tally.partial;  // deadline fired inside an all-or-nothing stage
+  } catch (const std::exception& e) {
+    return fail("retime pipeline threw", e.what());
+  }
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const HarnessOptions opt = parse_args(argc, argv);
+  const auto t0 = std::chrono::steady_clock::now();
+
+  Tally tally;
+  int done = 0;
+  for (int iter = 0; iter < opt.iters; ++iter, ++done) {
+    if (opt.max_seconds > 0) {
+      const std::chrono::duration<double> elapsed =
+          std::chrono::steady_clock::now() - t0;
+      if (elapsed.count() >= opt.max_seconds) break;
+    }
+    if (!run_iteration(opt, iter, tally)) return 1;
+    if (opt.verbose && (iter + 1) % 50 == 0)
+      std::fprintf(stderr, "  ... %d/%d iterations\n", iter + 1, opt.iters);
+  }
+
+  const std::chrono::duration<double> elapsed =
+      std::chrono::steady_clock::now() - t0;
+  std::printf(
+      "fault_harness: %d iteration(s) clean in %.1fs (seed %llu)\n"
+      "  parse: %d with diagnostics, %d unscathed; strict rejects: %d\n"
+      "  retime: %d converged, %d partial (deadline/cancel), %d skipped\n",
+      done, elapsed.count(), static_cast<unsigned long long>(opt.seed),
+      tally.diagnosed, tally.parsed_clean, tally.strict_threw, tally.solved,
+      tally.partial, tally.skipped);
+  return 0;
+}

@@ -4,6 +4,7 @@
 //   serelin_cli analyze  <circuit> [options]
 //   serelin_cli retime   <in> <out> [--algorithm minobswin|minobs|minarea]
 //                                   [options]
+//   serelin_cli lint     <circuit>
 //   serelin_cli convert  <in> <out>
 //   serelin_cli generate (<gates> <dffs> | --suite <name>) <out>
 //
@@ -17,6 +18,14 @@
 //   --seed <s>         generator seed
 //   --threads <N>      worker threads for parallel kernels
 //                      (default: hardware concurrency; 1 = serial)
+//   --deadline <sec>   wall-clock budget; on expiry `retime` writes the
+//                      best feasible retiming found and exits 75
+//   --recover          parse inputs in recovering mode: defects become
+//                      diagnostics on stderr instead of hard errors
+//
+// Exit codes (sysexits-style, see docs/ROBUSTNESS.md):
+//   0 success, 64 usage, 65 malformed input data,
+//   70 internal error, 75 deadline expired (partial result written)
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -30,10 +39,14 @@
 #include "gen/random_circuit.hpp"
 #include "netlist/bench_io.hpp"
 #include "netlist/blif_io.hpp"
+#include "netlist/validate.hpp"
 #include "rgraph/apply.hpp"
 #include "ser/ser_analyzer.hpp"
 #include "support/check.hpp"
+#include "support/deadline.hpp"
+#include "support/diag.hpp"
 #include "support/parallel.hpp"
+#include "support/strings.hpp"
 #include "support/table.hpp"
 
 namespace {
@@ -51,11 +64,15 @@ using namespace serelin;
                "minarea]\n"
                "           [--period P] [--rmin R] [--patterns K] "
                "[--frames n] [--area-weight w]\n"
+               "           [--deadline sec]\n"
+               "  lint     <circuit>\n"
                "  convert  <in> <out>\n"
                "  generate <gates> <dffs> <out> [--seed s]\n"
                "  generate --suite <name> <out>\n"
+               "common: --recover (diagnose-and-continue input parsing), "
+               "--threads N\n"
                "circuit formats by extension: .bench, .blif\n");
-  std::exit(2);
+  std::exit(64);
 }
 
 bool ends_with(const std::string& s, const char* suffix) {
@@ -63,10 +80,21 @@ bool ends_with(const std::string& s, const char* suffix) {
   return s.size() >= n && s.compare(s.size() - n, n, suffix) == 0;
 }
 
+bool g_recover = false;  ///< --recover: diagnose-and-continue parsing
+
 Netlist read_any(const std::string& path) {
-  if (ends_with(path, ".blif")) return read_blif_file(path);
-  if (ends_with(path, ".bench")) return read_bench_file(path);
-  usage("unknown circuit extension (want .bench or .blif)");
+  if (!ends_with(path, ".blif") && !ends_with(path, ".bench"))
+    usage("unknown circuit extension (want .bench or .blif)");
+  const bool blif = ends_with(path, ".blif");
+  if (!g_recover)
+    return blif ? read_blif_file(path) : read_bench_file(path);
+  DiagnosticSink sink;
+  Netlist nl = blif ? read_blif_file(path, sink) : read_bench_file(path, sink);
+  for (const Diagnostic& d : sink.diagnostics())
+    std::fprintf(stderr, "%s\n", d.render().c_str());
+  if (sink.error_count() > 0)
+    std::fprintf(stderr, "%s\n", sink.summary().c_str());
+  return nl;
 }
 
 void write_any(const std::string& path, const Netlist& nl) {
@@ -83,10 +111,38 @@ struct Options {
   double area_weight = 0.0;
   int threads = 0;  // 0 = hardware concurrency
   std::uint64_t seed = 1;
+  double deadline_s = 0.0;  // 0 = unbounded
+  Deadline deadline;        // derived from deadline_s at parse time
   std::string algorithm = "minobswin";
   std::string suite;
   std::vector<std::string> positional;
 };
+
+// Checked option-value parsing: unlike atoi/atof these reject
+// "--threads banana" (and trailing junk, and out-of-range values) with a
+// usage error instead of silently reading 0.
+int opt_int(const std::string& flag, const char* arg, std::int64_t lo,
+            std::int64_t hi) {
+  const auto v = parse_int(arg, lo, hi);
+  if (!v)
+    usage((flag + " wants an integer in [" + std::to_string(lo) + ", " +
+           std::to_string(hi) + "], got '" + arg + "'")
+              .c_str());
+  return static_cast<int>(*v);
+}
+
+double opt_double(const std::string& flag, const char* arg) {
+  const auto v = parse_double(arg);
+  if (!v) usage((flag + " wants a number, got '" + arg + "'").c_str());
+  return *v;
+}
+
+std::uint64_t opt_uint(const std::string& flag, const char* arg) {
+  const auto v = parse_uint(arg);
+  if (!v)
+    usage((flag + " wants an unsigned integer, got '" + arg + "'").c_str());
+  return *v;
+}
 
 Options parse(int argc, char** argv, int first) {
   Options opt;
@@ -96,18 +152,25 @@ Options parse(int argc, char** argv, int first) {
       if (i + 1 >= argc) usage(("missing value for " + a).c_str());
       return argv[++i];
     };
-    if (a == "--period") opt.period = std::atof(value());
-    else if (a == "--rmin") opt.rmin = std::atof(value());
-    else if (a == "--patterns") opt.patterns = std::atoi(value());
-    else if (a == "--frames") opt.frames = std::atoi(value());
-    else if (a == "--area-weight") opt.area_weight = std::atof(value());
-    else if (a == "--threads") opt.threads = std::atoi(value());
-    else if (a == "--seed") opt.seed = std::strtoull(value(), nullptr, 10);
+    if (a == "--period") opt.period = opt_double(a, value());
+    else if (a == "--rmin") opt.rmin = opt_double(a, value());
+    else if (a == "--patterns")
+      opt.patterns = opt_int(a, value(), 64, 1 << 20);
+    else if (a == "--frames") opt.frames = opt_int(a, value(), 1, 1 << 16);
+    else if (a == "--area-weight") opt.area_weight = opt_double(a, value());
+    else if (a == "--threads") opt.threads = opt_int(a, value(), 0, 4096);
+    else if (a == "--seed") opt.seed = opt_uint(a, value());
+    else if (a == "--deadline") opt.deadline_s = opt_double(a, value());
+    else if (a == "--recover") g_recover = true;
     else if (a == "--algorithm") opt.algorithm = value();
     else if (a == "--suite") opt.suite = value();
     else if (a.rfind("--", 0) == 0) usage(("unknown option " + a).c_str());
     else opt.positional.push_back(a);
   }
+  if (opt.patterns % 64 != 0)
+    usage("--patterns must be a multiple of 64");
+  if (opt.deadline_s < 0) usage("--deadline must be >= 0");
+  if (opt.deadline_s > 0) opt.deadline = Deadline::after(opt.deadline_s);
   return opt;
 }
 
@@ -158,7 +221,9 @@ int cmd_retime(const Options& opt) {
   const Netlist nl = read_any(opt.positional[0]);
   CellLibrary lib;
   RetimingGraph g(nl, lib);
-  const InitResult init = initialize_retiming(g, {});
+  InitOptions init_opt;
+  init_opt.deadline = opt.deadline;
+  const InitResult init = initialize_retiming(g, init_opt);
   TimingParams timing = init.timing;
   if (opt.period > 0) timing.period = opt.period;
   const double rmin = opt.rmin >= 0 ? opt.rmin : init.rmin;
@@ -174,6 +239,7 @@ int cmd_retime(const Options& opt) {
     SimConfig sim;
     sim.patterns = opt.patterns;
     sim.frames = opt.frames;
+    sim.deadline = opt.deadline;
     ObservabilityAnalyzer obs(nl, sim);
     const ObsGains gains =
         compute_gains(g, obs.run().obs, sim.patterns, opt.area_weight);
@@ -181,6 +247,7 @@ int cmd_retime(const Options& opt) {
     so.timing = timing;
     so.rmin = rmin;
     so.enforce_elw = opt.algorithm == "minobswin";
+    so.deadline = opt.deadline;
     result = MinObsWinSolver(g, gains, so).solve(init.r);
     std::printf("%s: K-scaled observability gain %lld, %d commits%s\n",
                 opt.algorithm.c_str(),
@@ -195,7 +262,30 @@ int cmd_retime(const Options& opt) {
   write_any(opt.positional[1], out);
   std::printf("flip-flops %zu -> %zu; wrote %s\n", nl.dff_count(),
               out.dff_count(), opt.positional[1].c_str());
+  if (result.partial()) {
+    // The retiming written above is feasible (solvers only stop at legal
+    // checkpoints) but may not be converged: signal that distinctly.
+    std::printf("partial: %s\n", result.stop_detail.c_str());
+    return 75;
+  }
   return 0;
+}
+
+int cmd_lint(const Options& opt) {
+  if (opt.positional.size() != 1) usage("lint needs one circuit");
+  const std::string& path = opt.positional[0];
+  if (!ends_with(path, ".blif") && !ends_with(path, ".bench"))
+    usage("unknown circuit extension (want .bench or .blif)");
+  // Lint always parses in recovering mode: the point is to report every
+  // defect in one run, not to stop at the first.
+  DiagnosticSink sink;
+  const Netlist nl = ends_with(path, ".blif") ? read_blif_file(path, sink)
+                                              : read_bench_file(path, sink);
+  lint_netlist(nl, sink);
+  for (const Diagnostic& d : sink.diagnostics())
+    std::printf("%s\n", d.render().c_str());
+  std::printf("%s: %s\n", path.c_str(), sink.summary().c_str());
+  return sink.has_errors() ? 65 : 0;
 }
 
 int cmd_convert(const Options& opt) {
@@ -245,11 +335,26 @@ int main(int argc, char** argv) {
     if (cmd == "stats") return cmd_stats(opt);
     if (cmd == "analyze") return cmd_analyze(opt);
     if (cmd == "retime") return cmd_retime(opt);
+    if (cmd == "lint") return cmd_lint(opt);
     if (cmd == "convert") return cmd_convert(opt);
     if (cmd == "generate") return cmd_generate(opt);
     usage(("unknown command '" + cmd + "'").c_str());
+  } catch (const CancelledError& e) {
+    // An all-or-nothing kernel hit the --deadline before any partial
+    // result existed; there is nothing useful to write.
+    std::fprintf(stderr, "deadline: %s\n", e.what());
+    return 75;
+  } catch (const ParseError& e) {
+    // Malformed input data (DiagnosticError renders the full list).
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 65;
   } catch (const Error& e) {
     std::fprintf(stderr, "error: %s\n", e.what());
-    return 1;
+    return 70;
+  } catch (const std::exception& e) {
+    // Last-resort net: standard-library failures (bad_alloc, regex, ...)
+    // must not escape main as a terminate/abort.
+    std::fprintf(stderr, "internal error: %s\n", e.what());
+    return 70;
   }
 }

@@ -1,15 +1,24 @@
 #!/usr/bin/env bash
 # Tier-1 verification: the regular build + full test suite, then the
-# parallel determinism suite under ThreadSanitizer (gating on zero races).
+# parallel determinism suite under ThreadSanitizer (gating on zero races),
+# then the full suite + a seeded fault-injection smoke run under
+# ASan+UBSan (gating on zero memory-safety / UB findings).
 #
-#   tools/verify.sh [--skip-tsan]
+#   tools/verify.sh [--skip-tsan] [--skip-asan]
 #
 # Run from the repository root. Exits non-zero on the first failure.
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
 SKIP_TSAN=0
-[[ "${1:-}" == "--skip-tsan" ]] && SKIP_TSAN=1
+SKIP_ASAN=0
+for arg in "$@"; do
+  case "$arg" in
+    --skip-tsan) SKIP_TSAN=1 ;;
+    --skip-asan) SKIP_ASAN=1 ;;
+    *) echo "usage: tools/verify.sh [--skip-tsan] [--skip-asan]" >&2; exit 64 ;;
+  esac
+done
 
 echo "== tier-1: build + ctest =="
 cmake -B build -S . > /dev/null
@@ -18,14 +27,26 @@ cmake --build build -j"$(nproc)"
 
 if [[ "$SKIP_TSAN" == 1 ]]; then
   echo "== tsan: skipped =="
-  exit 0
+else
+  echo "== tsan: parallel suite under ThreadSanitizer =="
+  cmake -B build-tsan -S . -DSERELIN_TSAN=ON > /dev/null
+  cmake --build build-tsan -j"$(nproc)" --target serelin_tests
+  # TSAN aborts with a non-zero exit on any data race (halt_on_error not
+  # needed: the default exit code 66 on detected races fails the script).
+  TSAN_OPTIONS="exitcode=66" \
+    ./build-tsan/tests/serelin_tests --gtest_filter='Parallel*'
 fi
 
-echo "== tsan: parallel suite under ThreadSanitizer =="
-cmake -B build-tsan -S . -DSERELIN_TSAN=ON > /dev/null
-cmake --build build-tsan -j"$(nproc)" --target serelin_tests
-# TSAN aborts with a non-zero exit on any data race (halt_on_error not
-# needed: the default exit code 66 on detected races fails the script).
-TSAN_OPTIONS="exitcode=66" \
-  ./build-tsan/tests/serelin_tests --gtest_filter='Parallel*'
+if [[ "$SKIP_ASAN" == 1 ]]; then
+  echo "== asan: skipped =="
+else
+  echo "== asan: full suite + fault-injection smoke under ASan+UBSan =="
+  cmake -B build-asan -S . -DSERELIN_ASAN=ON > /dev/null
+  cmake --build build-asan -j"$(nproc)"
+  (cd build-asan && ctest --output-on-failure -j"$(nproc)")
+  # Seeded fuzz loop through parse -> validate -> deadline-bounded retime
+  # (docs/ROBUSTNESS.md). -fno-sanitize-recover=all means any UB aborts,
+  # so a clean exit certifies the no-crash/no-UB invariant.
+  ./build-asan/tools/fault_harness --seed 1 --iters 2000 --max-seconds 30
+fi
 echo "verify: OK"
