@@ -21,6 +21,18 @@ AlgoOutcome run_one(const RetimingGraph& g, const ObsGains& gains,
   out.solver = solver.solve(initial);
   out.seconds = watch.seconds();
 
+  if (config.verify) {
+    OracleOptions oracle_options;
+    oracle_options.timing = options.timing;
+    oracle_options.rmin = options.rmin;
+    oracle_options.check_elw =
+        options.enforce_elw && options.rmin > 0 && !out.solver.exited_early;
+    oracle_options.area_weight = config.area_weight;
+    out.verdict =
+        RetimingOracle(g, oracle_options).verify(out.solver, initial, gains);
+    out.verified = true;
+  }
+
   out.ffs = g.shared_register_count(out.solver.r);
   out.dff_change = original_ffs > 0
                        ? static_cast<double>(out.ffs - original_ffs) /

@@ -16,6 +16,7 @@
 #include <limits>
 #include <string>
 
+#include "check/oracle.hpp"
 #include "core/initializer.hpp"
 #include "core/objective.hpp"
 #include "core/solver.hpp"
@@ -34,6 +35,10 @@ struct FlowConfig {
   double rmin_override = std::numeric_limits<double>::quiet_NaN();
   bool run_minobs = true;      ///< run the baseline too
   bool reanalyze_ser = true;   ///< full Eq. (4) SER on the results
+  /// Run the independent RetimingOracle (src/check) on every solver
+  /// result; verdicts land in AlgoOutcome::verdict. A failed verdict does
+  /// not abort the experiment — Table-I harnesses report it per row.
+  bool verify = false;
 };
 
 /// Results of one algorithm on one circuit (one half of a Table-I row).
@@ -44,6 +49,8 @@ struct AlgoOutcome {
   double dff_change = 0.0;     ///< (ffs - original) / original
   double ser = 0.0;            ///< re-analyzed SER(C_S, n)
   double dser = 0.0;           ///< (ser - original) / original
+  bool verified = false;       ///< the oracle ran on this result
+  Verdict verdict;             ///< its verdict (meaningful when verified)
 };
 
 /// One full Table-I row.

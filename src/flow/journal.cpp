@@ -1,0 +1,101 @@
+#include "flow/journal.hpp"
+
+#include <cmath>
+#include <cstdio>
+
+#include "support/check.hpp"
+
+namespace serelin {
+
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+JsonObject& JsonObject::raw(const std::string& key, const std::string& json) {
+  SERELIN_ASSERT(!closed_, "JsonObject modified after str()");
+  body_ += body_.empty() ? "{" : ",";
+  body_ += '"';
+  body_ += json_escape(key);
+  body_ += "\":";
+  body_ += json;
+  return *this;
+}
+
+JsonObject& JsonObject::set(const std::string& key, const std::string& value) {
+  return raw(key, '"' + json_escape(value) + '"');
+}
+
+JsonObject& JsonObject::set(const std::string& key, const char* value) {
+  return set(key, std::string(value));
+}
+
+JsonObject& JsonObject::set(const std::string& key, double value) {
+  if (!std::isfinite(value)) return raw(key, "null");
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%.17g", value);
+  return raw(key, buf);
+}
+
+JsonObject& JsonObject::set(const std::string& key, std::int64_t value) {
+  return raw(key, std::to_string(value));
+}
+
+JsonObject& JsonObject::set(const std::string& key, int value) {
+  return raw(key, std::to_string(value));
+}
+
+JsonObject& JsonObject::set(const std::string& key, bool value) {
+  return raw(key, value ? "true" : "false");
+}
+
+const std::string& JsonObject::str() const {
+  if (!closed_) {
+    body_ += body_.empty() ? "{}" : "}";
+    closed_ = true;
+  }
+  return body_;
+}
+
+RunJournal::RunJournal(const std::string& path)
+    : path_(path), out_(path, std::ios::trunc), enabled_(true) {
+  if (!out_) throw Error("cannot open run journal for writing: " + path);
+}
+
+void RunJournal::write(const JsonObject& obj) {
+  if (!enabled_ || !healthy_) return;
+  out_ << obj.str() << '\n';
+  out_.flush();
+  if (!out_) healthy_ = false;  // disk full etc.: degrade, never abort a run
+}
+
+}  // namespace serelin

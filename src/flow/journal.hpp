@@ -1,0 +1,72 @@
+// Run journal: append-only JSONL record of a solver-pipeline run.
+//
+// Every pipeline stage attempt — budget, outcome, oracle verdict — is
+// written as one JSON object per line the moment it happens, so a run that
+// is later killed (deadline, crash, operator Ctrl-C) still leaves a
+// complete trace of everything it tried. The schema is documented in
+// docs/ROBUSTNESS.md ("Run journal").
+//
+// Failure policy: failing to *open* the journal is a hard error (the user
+// asked for a record we cannot produce); failing to *write* mid-run must
+// never take the solve down with it — the journal goes unhealthy, keeps
+// swallowing writes, and the caller reports the degradation at the end.
+#pragma once
+
+#include <cstdint>
+#include <fstream>
+#include <string>
+
+namespace serelin {
+
+/// Minimal ordered JSON-object builder for journal lines. Keys are emitted
+/// in insertion order; values are escaped per RFC 8259. Non-finite doubles
+/// become null (JSON has no inf/nan).
+class JsonObject {
+ public:
+  JsonObject& set(const std::string& key, const std::string& value);
+  JsonObject& set(const std::string& key, const char* value);
+  JsonObject& set(const std::string& key, double value);
+  JsonObject& set(const std::string& key, std::int64_t value);
+  JsonObject& set(const std::string& key, int value);
+  JsonObject& set(const std::string& key, bool value);
+
+  /// "{...}" — the serialized object.
+  const std::string& str() const;
+
+ private:
+  JsonObject& raw(const std::string& key, const std::string& json);
+
+  mutable std::string body_;  // built incrementally; str() closes it
+  mutable bool closed_ = false;
+};
+
+/// Escapes `s` for inclusion in a JSON string literal (without quotes).
+std::string json_escape(const std::string& s);
+
+class RunJournal {
+ public:
+  /// Disabled journal: write() is a no-op, healthy() stays true.
+  RunJournal() = default;
+
+  /// Opens (truncates) `path` for writing. Throws serelin::Error when the
+  /// file cannot be opened.
+  explicit RunJournal(const std::string& path);
+
+  bool enabled() const { return enabled_; }
+
+  /// False once any write has failed; subsequent writes are swallowed.
+  bool healthy() const { return healthy_; }
+
+  const std::string& path() const { return path_; }
+
+  /// Appends one JSONL line and flushes it (so partial runs journal).
+  void write(const JsonObject& obj);
+
+ private:
+  std::string path_;
+  std::ofstream out_;
+  bool enabled_ = false;
+  bool healthy_ = true;
+};
+
+}  // namespace serelin

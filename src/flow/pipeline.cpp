@@ -1,0 +1,280 @@
+#include "flow/pipeline.hpp"
+
+#include <cmath>
+#include <optional>
+#include <utility>
+
+#include "core/min_period.hpp"
+#include "core/objective.hpp"
+#include "flow/journal.hpp"
+#include "rgraph/retiming_graph.hpp"
+#include "sim/observability.hpp"
+#include "support/check.hpp"
+#include "support/stopwatch.hpp"
+
+namespace serelin {
+
+const char* pipeline_stage_name(PipelineStage s) {
+  switch (s) {
+    case PipelineStage::kMinObsWin:
+      return "minobswin";
+    case PipelineStage::kMinObs:
+      return "minobs";
+    case PipelineStage::kMinPeriod:
+      return "minperiod";
+    case PipelineStage::kIdentity:
+      return "identity";
+  }
+  return "identity";
+}
+
+namespace {
+
+/// What one stage hands to the oracle: a result plus the timing context it
+/// claims to be valid under (the identity stage relaxes the period).
+struct StageCandidate {
+  SolverResult result;
+  TimingParams timing;
+  double rmin = 0.0;
+  bool check_elw = false;  ///< oracle should enforce the R_min invariant
+  bool has_gains = false;  ///< objective_gain is a real Eq. (5) claim
+};
+
+void journal_attempt(RunJournal& journal, const StageAttempt& a) {
+  JsonObject o;
+  o.set("event", "attempt")
+      .set("stage", pipeline_stage_name(a.stage))
+      .set("attempt", a.attempt)
+      .set("budget_s", a.budget_seconds)
+      .set("seconds", a.seconds)
+      .set("stop", stop_reason_name(a.stop_reason))
+      .set("errored", a.errored);
+  if (a.errored) o.set("error", a.error);
+  o.set("verified", a.verified);
+  if (a.verified) {
+    o.set("verdict_ok", a.verdict.ok());
+    for (const InvariantResult& r : a.verdict.invariants)
+      o.set(invariant_name(r.invariant), check_status_name(r.status));
+  }
+  o.set("accepted", a.accepted);
+  journal.write(o);
+}
+
+}  // namespace
+
+PipelineResult run_pipeline(const Netlist& nl, const CellLibrary& lib,
+                            const PipelineOptions& options) {
+  SERELIN_REQUIRE(nl.finalized(), "run_pipeline needs a finalized netlist");
+  RunJournal journal = options.journal_path.empty()
+                           ? RunJournal()
+                           : RunJournal(options.journal_path);
+  PipelineResult out;
+  out.journal_path = options.journal_path;
+
+  {
+    JsonObject o;
+    o.set("event", "start")
+        .set("circuit", nl.name())
+        .set("start_stage", pipeline_stage_name(options.start))
+        .set("phi_target", options.period)
+        .set("verify", options.verify)
+        .set("deadline_s", options.deadline.remaining_seconds());
+    journal.write(o);
+  }
+
+  RetimingGraph g(nl, lib);
+  InitOptions init_options = options.init;
+  init_options.deadline = options.deadline;
+  Stopwatch init_watch;
+  out.init = initialize_retiming(g, init_options);
+  TimingParams timing = out.init.timing;
+  if (options.period > 0) timing.period = options.period;
+  const double rmin = options.rmin >= 0 ? options.rmin : out.init.rmin;
+
+  {
+    JsonObject o;
+    o.set("event", "setup")
+        .set("phi", timing.period)
+        .set("phi_init", out.init.timing.period)
+        .set("rmin", rmin)
+        .set("setup_hold_ok", out.init.setup_hold_ok)
+        .set("seconds", init_watch.seconds());
+    journal.write(o);
+  }
+
+  // Gains are computed once, lazily, under the slice of whichever stage
+  // first needs them; a later stage reuses the cached value for free.
+  std::optional<ObsGains> gains;
+  auto ensure_gains = [&](const Deadline& slice) -> const ObsGains& {
+    if (!gains) {
+      SimConfig sim = options.sim;
+      sim.deadline = slice;
+      ObservabilityAnalyzer engine(nl, sim);
+      const ObsResult obs = engine.run();
+      gains = compute_gains(g, obs.obs, sim.patterns, options.area_weight);
+    }
+    return *gains;
+  };
+
+  auto run_stage = [&](PipelineStage stage,
+                       const Deadline& slice) -> StageCandidate {
+    StageCandidate c;
+    c.timing = timing;
+    c.rmin = rmin;
+    switch (stage) {
+      case PipelineStage::kMinObsWin:
+      case PipelineStage::kMinObs: {
+        const ObsGains& stage_gains = ensure_gains(slice);
+        SolverOptions so;
+        so.timing = timing;
+        so.rmin = rmin;
+        so.enforce_elw = stage == PipelineStage::kMinObsWin;
+        so.deadline = slice;
+        MinObsWinSolver solver(g, stage_gains, so);
+        c.result = solver.solve(out.init.r);
+        c.check_elw = so.enforce_elw && rmin > 0 && !c.result.exited_early;
+        c.has_gains = true;
+        break;
+      }
+      case PipelineStage::kMinPeriod: {
+        if (options.period <= 0 ||
+            timing.period >= out.init.timing.period) {
+          // The Section-V initialization already meets this (or a looser)
+          // period, and it is legal by construction.
+          c.result.r = out.init.r;
+          c.result.stop_detail = "min-period: Section-V initialization";
+        } else {
+          MinPeriodRetimer::Options mo;
+          mo.setup = timing.setup;
+          mo.deadline = slice;
+          MinPeriodRetimer retimer(g, mo);
+          const std::optional<Retiming> r =
+              retimer.retime_for_period(timing.period, out.init.r);
+          if (!r) {
+            // An interrupted FEAS probe reports infeasible; distinguish
+            // "ran out of budget" (retryable) from "truly infeasible".
+            slice.check("pipeline/minperiod");
+            throw Error("min-period stage: no retiming achieves phi = " +
+                        std::to_string(timing.period));
+          }
+          c.result.r = *r;
+          c.result.stop_detail = "min-period: FEAS at the target period";
+        }
+        break;
+      }
+      case PipelineStage::kIdentity: {
+        // The unretimed circuit at its own critical path: legal by
+        // definition, so this stage is the chain's safety net. The period
+        // is relaxed to whatever the circuit actually needs.
+        c.result.r = g.zero_retiming();
+        c.timing.period =
+            std::max(timing.period, critical_path(nl, lib) + timing.setup);
+        c.result.stop_detail = "identity: unretimed circuit, phi relaxed";
+        break;
+      }
+    }
+    return c;
+  };
+
+  constexpr int kLast = static_cast<int>(PipelineStage::kIdentity);
+  for (int si = static_cast<int>(options.start); si <= kLast; ++si) {
+    const PipelineStage stage = static_cast<PipelineStage>(si);
+    const int stages_left = kLast - si + 1;
+    for (int attempt = 0; attempt < 2; ++attempt) {
+      const double auto_budget =
+          options.deadline.remaining_seconds() / stages_left;
+      const double budget =
+          attempt == 0
+              ? (options.stage_budget_s > 0 ? options.stage_budget_s
+                                            : auto_budget)
+              : auto_budget * options.retry_factor;
+      const Deadline slice = options.deadline.slice(budget);
+
+      StageAttempt rec;
+      rec.stage = stage;
+      rec.attempt = attempt;
+      rec.budget_seconds = budget;
+      bool cancelled = false;
+      std::optional<StageCandidate> candidate;
+      Stopwatch watch;
+      try {
+        candidate = run_stage(stage, slice);
+      } catch (const CancelledError& e) {
+        rec.errored = true;
+        rec.error = e.what();
+        cancelled = true;
+      } catch (const Error& e) {
+        rec.errored = true;
+        rec.error = e.what();
+      }
+      rec.seconds = watch.seconds();
+      if (candidate) rec.stop_reason = candidate->result.stop_reason;
+
+      if (candidate) {
+        if (options.verify) {
+          OracleOptions oracle_options;
+          oracle_options.timing = candidate->timing;
+          oracle_options.rmin = candidate->rmin;
+          oracle_options.check_elw = candidate->check_elw;
+          oracle_options.area_weight = options.area_weight;
+          // Verification runs unbudgeted on purpose: degradation after an
+          // expired overall deadline still ends in a *verified* result.
+          const RetimingOracle oracle(g, oracle_options);
+          rec.verdict = candidate->has_gains
+                            ? oracle.verify(candidate->result, out.init.r,
+                                            *gains)
+                            : oracle.verify(candidate->result.r);
+          rec.verified = true;
+          rec.accepted = rec.verdict.ok();
+        } else {
+          rec.accepted = true;
+        }
+      }
+      journal_attempt(journal, rec);
+      out.attempts.push_back(rec);
+
+      if (rec.accepted) {
+        out.ok = true;
+        out.stage = stage;
+        out.solver = std::move(candidate->result);
+        out.verdict = std::move(rec.verdict);
+        out.timing = candidate->timing;
+        out.rmin = candidate->rmin;
+        out.degraded = stage != options.start || out.solver.partial();
+        JsonObject o;
+        o.set("event", "result")
+            .set("ok", true)
+            .set("stage", pipeline_stage_name(stage))
+            .set("degraded", out.degraded)
+            .set("phi", out.timing.period)
+            .set("rmin", out.rmin)
+            .set("objective_gain", out.solver.objective_gain)
+            .set("attempts", static_cast<int>(out.attempts.size()));
+        journal.write(o);
+        out.journal_healthy = journal.healthy();
+        return out;
+      }
+
+      // One relaxed-budget retry, and only when more budget could actually
+      // change the outcome: the attempt was cancelled mid-flight or the
+      // solver stopped early at a checkpoint.
+      const bool budget_related =
+          cancelled || rec.stop_reason != StopReason::kNone;
+      if (attempt == 0 && budget_related && !options.deadline.expired())
+        continue;
+      break;  // degrade to the next stage
+    }
+  }
+
+  // Unreachable in practice — the identity stage always verifies — but a
+  // sound answer is still produced if it ever does not.
+  JsonObject o;
+  o.set("event", "result")
+      .set("ok", false)
+      .set("attempts", static_cast<int>(out.attempts.size()));
+  journal.write(o);
+  out.journal_healthy = journal.healthy();
+  return out;
+}
+
+}  // namespace serelin

@@ -1,0 +1,120 @@
+// SolverPipeline: graceful degradation across an ordered fallback chain.
+//
+// A production flow must return *some* oracle-verified legal retiming even
+// when the preferred algorithm runs out of budget or its result fails
+// verification. The pipeline tries, in order,
+//
+//   1. minobswin  — Algorithm 1 (observability + ELW constraints),
+//   2. minobs     — Efficient MinObs (observability only),
+//   3. minperiod  — classical min-period retiming at the target Φ,
+//   4. identity   — the unretimed circuit at its own critical path,
+//
+// each stage under its own slice of the overall deadline. A stage's result
+// is accepted only when the independent RetimingOracle (src/check) signs
+// off on it; a stage that errors out, times out, or is rejected triggers
+// one relaxed-budget retry when the failure was budget-related, then the
+// chain falls through to the next stage. The identity stage cannot fail:
+// a zero retiming at the circuit's own critical path is always legal, so
+// the pipeline's contract is "a verified result or a recorded reason per
+// stage", never an exception for budget exhaustion.
+//
+// Every attempt — budget, wall clock, stop reason, verdict — is recorded
+// in PipelineResult::attempts and, when a journal path is given, appended
+// live to a JSONL run journal (see flow/journal.hpp and
+// docs/ROBUSTNESS.md), so post-mortems can reconstruct exactly what was
+// tried even if the process dies mid-run.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "check/oracle.hpp"
+#include "core/initializer.hpp"
+#include "core/solver.hpp"
+#include "netlist/cell_library.hpp"
+#include "netlist/netlist.hpp"
+#include "sim/sim_config.hpp"
+#include "support/deadline.hpp"
+#include "timing/params.hpp"
+
+namespace serelin {
+
+enum class PipelineStage : std::uint8_t {
+  kMinObsWin,  ///< Algorithm 1 (the paper's full method)
+  kMinObs,     ///< Efficient MinObs baseline (no ELW constraints)
+  kMinPeriod,  ///< plain min-period retiming at the target Φ
+  kIdentity,   ///< the unretimed circuit (always succeeds)
+};
+
+/// "minobswin" / "minobs" / "minperiod" / "identity" (stable; journaled).
+const char* pipeline_stage_name(PipelineStage s);
+
+struct PipelineOptions {
+  InitOptions init;  ///< Section-V initialization parameters
+  SimConfig sim;     ///< observability simulation fidelity
+  /// Target clock period Φ; 0 = use the Section-V initialization period.
+  double period = 0.0;
+  /// R_min override; negative = use the Section-V value.
+  double rmin = -1.0;
+  /// §VII area-augmentation knob, forwarded to the gains.
+  double area_weight = 0.0;
+  /// Overall budget; stages run under slices of it.
+  Deadline deadline;
+  /// Run the RetimingOracle on every stage result; a result that fails
+  /// verification is treated like a failed stage. When false, results are
+  /// accepted as the solvers report them (attempts are still journaled).
+  bool verify = true;
+  /// Budget multiplier for the single relaxed retry of a stage whose
+  /// failure was budget-related.
+  double retry_factor = 2.0;
+  /// Testability override: fixed first-attempt budget per stage in
+  /// seconds; 0 = automatic (remaining budget split over remaining
+  /// stages). The relaxed retry always uses the automatic slice.
+  double stage_budget_s = 0.0;
+  /// JSONL journal path; empty = no journal. Opening failure throws.
+  std::string journal_path;
+  /// First stage to try (earlier stages are skipped, e.g. kMinObs when
+  /// the caller never wanted ELW constraints).
+  PipelineStage start = PipelineStage::kMinObsWin;
+};
+
+/// One stage attempt, as journaled.
+struct StageAttempt {
+  PipelineStage stage = PipelineStage::kIdentity;
+  int attempt = 0;  ///< 0 = first try, 1 = relaxed-budget retry
+  double budget_seconds = 0.0;  ///< slice given to this attempt (inf = none)
+  double seconds = 0.0;         ///< wall clock actually spent
+  StopReason stop_reason = StopReason::kNone;  ///< solver early-stop reason
+  bool errored = false;  ///< attempt died (CancelledError, FEAS failure...)
+  std::string error;     ///< what() of the failure when errored
+  bool verified = false; ///< the oracle ran on this attempt's result
+  Verdict verdict;       ///< oracle verdict (meaningful when verified)
+  bool accepted = false; ///< this attempt produced the pipeline's result
+};
+
+struct PipelineResult {
+  /// True when some stage produced an accepted (oracle-verified when
+  /// verify was on) result.
+  bool ok = false;
+  PipelineStage stage = PipelineStage::kIdentity;  ///< accepted stage
+  /// True when the accepted stage is not the requested start stage (the
+  /// chain degraded) or the accepted result is itself partial.
+  bool degraded = false;
+  SolverResult solver;   ///< accepted result (identity/minperiod: gain 0)
+  Verdict verdict;       ///< oracle verdict of the accepted result
+  TimingParams timing;   ///< the Φ/Ts/Th the result is verified against
+  double rmin = 0.0;     ///< the R_min in force for the accepted stage
+  InitResult init;       ///< Section-V setup the run started from
+  std::vector<StageAttempt> attempts;  ///< every attempt, in order
+  std::string journal_path;  ///< empty when journaling was off
+  bool journal_healthy = true;  ///< false: a journal write failed mid-run
+};
+
+/// Runs the fallback chain on a finalized netlist. Throws only on caller
+/// errors (unopenable journal, unfinalized netlist) — budget exhaustion
+/// and rejected results degrade through the chain instead.
+PipelineResult run_pipeline(const Netlist& nl, const CellLibrary& lib,
+                            const PipelineOptions& options);
+
+}  // namespace serelin

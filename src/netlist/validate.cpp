@@ -1,5 +1,7 @@
 #include "netlist/validate.hpp"
 
+#include <algorithm>
+#include <string>
 #include <vector>
 
 #include "netlist/builder.hpp"
@@ -110,6 +112,59 @@ Netlist repair_netlist(const Netlist& nl, DiagnosticSink& sink) {
   // The source netlist was finalized (legal) and we only removed whole
   // dead cones, so the strict build cannot fail.
   return builder.build();
+}
+
+namespace {
+
+std::vector<std::string> sorted_names(const Netlist& nl,
+                                      const std::vector<NodeId>& ids) {
+  std::vector<std::string> names;
+  names.reserve(ids.size());
+  for (NodeId id : ids) names.push_back(nl.node(id).name);
+  std::sort(names.begin(), names.end());
+  return names;
+}
+
+bool mismatch(std::string* why, const std::string& msg) {
+  if (why) *why = msg;
+  return false;
+}
+
+}  // namespace
+
+bool structurally_equal(const Netlist& a, const Netlist& b,
+                        std::string* why) {
+  SERELIN_REQUIRE(a.finalized() && b.finalized(),
+                  "structurally_equal needs finalized netlists");
+  if (a.node_count() != b.node_count())
+    return mismatch(why, "node counts differ: " +
+                             std::to_string(a.node_count()) + " vs " +
+                             std::to_string(b.node_count()));
+  if (sorted_names(a, a.inputs()) != sorted_names(b, b.inputs()))
+    return mismatch(why, "primary input name sets differ");
+  if (sorted_names(a, a.outputs()) != sorted_names(b, b.outputs()))
+    return mismatch(why, "primary output name sets differ");
+  for (NodeId id = 0; id < a.node_count(); ++id) {
+    const Node& na = a.node(id);
+    const NodeId other = b.find(na.name);
+    if (other == kNullNode)
+      return mismatch(why, "signal '" + na.name + "' missing from the other "
+                                                  "netlist");
+    const Node& nb = b.node(other);
+    if (na.type != nb.type)
+      return mismatch(why, "signal '" + na.name + "' is " +
+                               std::string(cell_type_name(na.type)) +
+                               " vs " + std::string(cell_type_name(nb.type)));
+    if (na.fanins.size() != nb.fanins.size())
+      return mismatch(why, "signal '" + na.name + "' fanin counts differ");
+    for (std::size_t i = 0; i < na.fanins.size(); ++i)
+      if (a.node(na.fanins[i]).name != b.node(nb.fanins[i]).name)
+        return mismatch(why, "signal '" + na.name + "' fanin " +
+                                 std::to_string(i) + " is '" +
+                                 a.node(na.fanins[i]).name + "' vs '" +
+                                 b.node(nb.fanins[i]).name + "'");
+  }
+  return true;
 }
 
 }  // namespace serelin

@@ -37,4 +37,13 @@ std::size_t lint_netlist(const Netlist& nl, DiagnosticSink& sink);
 /// as an error first — callers should lint before deciding to repair).
 Netlist repair_netlist(const Netlist& nl, DiagnosticSink& sink);
 
+/// Name-keyed structural equality of two finalized netlists, the relation
+/// a write/reparse round trip must preserve: same primary input and
+/// output name sets, and for every name the same cell type and the same
+/// fanin names in the same pin order. Node ids, declaration order and the
+/// circuit name may differ. On mismatch, `why` (when non-null) receives a
+/// one-line account of the first difference found.
+bool structurally_equal(const Netlist& a, const Netlist& b,
+                        std::string* why = nullptr);
+
 }  // namespace serelin

@@ -1,5 +1,6 @@
 #include "support/deadline.hpp"
 
+#include <cmath>
 #include <limits>
 
 namespace serelin {
@@ -49,6 +50,19 @@ double Deadline::remaining_seconds() const {
   const double left =
       std::chrono::duration<double>(at_ - Clock::now()).count();
   return left > 0 ? left : 0.0;
+}
+
+Deadline Deadline::slice(double seconds) const {
+  Deadline d = *this;  // keeps the token and any existing expiry
+  if (std::isfinite(seconds)) {
+    const auto at = Clock::now() +
+                    std::chrono::duration_cast<Clock::duration>(
+                        std::chrono::duration<double>(
+                            seconds > 0 ? seconds : 0));
+    if (!d.timed_ || at < d.at_) d.at_ = at;
+    d.timed_ = true;
+  }
+  return d;
 }
 
 void Deadline::check(const char* where) const {

@@ -101,6 +101,12 @@ class Deadline {
   /// Seconds left; +infinity when no time limit is set, 0 when expired.
   double remaining_seconds() const;
 
+  /// A sub-deadline: expires `seconds` from now but never later than this
+  /// deadline, and shares its cancellation token. Non-finite `seconds`
+  /// means "no extra limit" (the slice is just this deadline). Used to
+  /// give pipeline stages their own slice of an overall budget.
+  Deadline slice(double seconds) const;
+
   /// Throws CancelledError("<where>: ...") when expired.
   void check(const char* where) const;
 

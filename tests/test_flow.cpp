@@ -117,6 +117,23 @@ TEST(Flow, AreaWeightBiasesTowardFewerRegisters) {
   EXPECT_LE(a.minobswin.ffs, p.minobswin.ffs);
 }
 
+TEST(Flow, VerifyRunsTheOracleOnBothAlgorithms) {
+  const Netlist nl = flow_circuit();
+  CellLibrary lib;
+  FlowConfig config = fast_config();
+  config.verify = true;
+  config.reanalyze_ser = false;
+  const ExperimentRow row = run_experiment(nl, lib, config);
+  ASSERT_TRUE(row.minobswin.verified);
+  EXPECT_TRUE(row.minobswin.verdict.ok()) << row.minobswin.verdict.summary();
+  ASSERT_TRUE(row.minobs.verified);
+  EXPECT_TRUE(row.minobs.verdict.ok()) << row.minobs.verdict.summary();
+
+  FlowConfig off = fast_config();
+  off.reanalyze_ser = false;
+  EXPECT_FALSE(run_experiment(nl, lib, off).minobswin.verified);
+}
+
 TEST(Flow, DeterministicAcrossRuns) {
   const Netlist nl = flow_circuit();
   CellLibrary lib;

@@ -1,7 +1,8 @@
 // fault_harness — deterministic fault-injection robustness driver.
 //
 //   fault_harness [--seed S] [--iters N] [--deadline-ms M]
-//                 [--max-seconds T] [--verbose]
+//                 [--max-seconds T] [--verify] [--corpus DIR]
+//                 [--replay DIR] [--verbose]
 //
 // Every iteration: generate a small random circuit, serialize it to
 // .bench or BLIF text, corrupt the text with seeded random damage
@@ -15,17 +16,34 @@
 //   4. retime under a deadline — MinObsWin from the Section-V start; an
 //      expired deadline must yield a *legal* best-so-far retiming
 //      (stop_reason set), a cancelled token likewise
+//   5. with --verify: the independent RetimingOracle (src/check) must
+//      sign off on every solver result — legality, period, ELW, and the
+//      reported objective
 //
 // The invariant under test: hostile bytes can produce clean diagnostics,
 // typed exceptions, or Partial results — never a crash, hang, assertion
-// failure, or illegal retiming. Any violation prints the (seed, iteration)
-// pair that reproduces it and exits 1.
+// failure, illegal retiming, or oracle violation. Any violation prints
+// the (seed, iteration) pair that reproduces it and exits 1.
+//
+// Counterexample persistence: before each iteration's battery runs, the
+// corrupted input is written to <corpus>/pending-seed<S>-iter<N>.<ext>
+// (default corpus: tests/corpus/found). A clean iteration removes it; a
+// detected failure renames it to crash-...<ext> and writes a .repro
+// sidecar with the reproduction command; a hard crash or hang leaves the
+// pending file itself behind as the artifact. `--replay DIR` re-runs the
+// same battery (no mutation) over every .bench/.blif file in DIR, so
+// persisted counterexamples double as a regression corpus.
+#include <algorithm>
 #include <chrono>
 #include <cstdio>
 #include <exception>
+#include <filesystem>
+#include <fstream>
 #include <sstream>
 #include <string>
+#include <vector>
 
+#include "check/oracle.hpp"
 #include "core/initializer.hpp"
 #include "core/objective.hpp"
 #include "core/solver.hpp"
@@ -42,6 +60,7 @@
 
 namespace {
 
+namespace fs = std::filesystem;
 using namespace serelin;
 
 struct HarnessOptions {
@@ -49,6 +68,9 @@ struct HarnessOptions {
   int iters = 500;
   double deadline_ms = 5.0;
   double max_seconds = 0.0;  // 0 = unbounded
+  bool verify = false;       // oracle-check every solver result
+  std::string corpus = "tests/corpus/found";
+  std::string replay;  // non-empty: replay this directory, no mutation
   bool verbose = false;
 };
 
@@ -56,7 +78,9 @@ struct HarnessOptions {
   if (msg) std::fprintf(stderr, "error: %s\n", msg);
   std::fprintf(stderr,
                "usage: fault_harness [--seed S] [--iters N] "
-               "[--deadline-ms M] [--max-seconds T] [--verbose]\n");
+               "[--deadline-ms M] [--max-seconds T]\n"
+               "                     [--verify] [--corpus DIR] "
+               "[--replay DIR] [--verbose]\n");
   std::exit(64);
 }
 
@@ -84,6 +108,12 @@ HarnessOptions parse_args(int argc, char** argv) {
       const auto v = parse_double(value());
       if (!v || *v < 0) usage("--max-seconds wants a non-negative number");
       opt.max_seconds = *v;
+    } else if (a == "--verify") {
+      opt.verify = true;
+    } else if (a == "--corpus") {
+      opt.corpus = value();
+    } else if (a == "--replay") {
+      opt.replay = value();
     } else if (a == "--verbose") {
       opt.verbose = true;
     } else {
@@ -101,34 +131,26 @@ struct Tally {
   int solved = 0;          ///< retime ran to convergence
   int partial = 0;         ///< retime stopped on deadline/cancel
   int skipped = 0;         ///< recovered netlist too degenerate to retime
+  int verified = 0;        ///< oracle signed a solver result off
 };
 
-/// One iteration. Returns true on success; on failure prints the repro
-/// line and returns false.
-bool run_iteration(const HarnessOptions& opt, int iter, Tally& tally) {
-  std::uint64_t stream = opt.seed + 0x9e3779b97f4a7c15ULL *
-                                        static_cast<std::uint64_t>(iter + 1);
-  Rng rng(splitmix64(stream));
-  const bool use_blif = rng.chance(0.5);
+/// What went wrong in a failed battery, for the repro sidecar.
+struct Failure {
+  std::string phase;
+  std::string what;
+};
 
-  // Victim circuit -> serialized text -> corrupted text.
-  std::string text;
-  {
-    const Netlist victim = random_victim(rng);
-    std::ostringstream os;
-    if (use_blif)
-      write_blif(os, victim);
-    else
-      write_bench(os, victim);
-    text = mutate_text(os.str(), rng);
-  }
-
-  const auto fail = [&](const char* phase, const char* what) {
-    std::fprintf(stderr,
-                 "FAIL iter %d (--seed %llu): %s: %s\n"
-                 "  reproduce: fault_harness --seed %llu --iters %d\n",
-                 iter, static_cast<unsigned long long>(opt.seed), phase,
-                 what, static_cast<unsigned long long>(opt.seed), iter + 1);
+/// Drives phases 1-5 on one input text. `iter` seeds the deadline
+/// schedule; `label` names the input in failure messages. On failure
+/// fills `failure` and returns false.
+bool run_battery(const HarnessOptions& opt, int iter,
+                 const std::string& label, const std::string& text,
+                 bool use_blif, Tally& tally, Failure& failure) {
+  const auto fail = [&](const char* phase, const std::string& what) {
+    failure.phase = phase;
+    failure.what = what;
+    std::fprintf(stderr, "FAIL %s: %s: %s\n", label.c_str(), phase,
+                 what.c_str());
     return false;
   };
 
@@ -232,12 +254,128 @@ bool run_iteration(const HarnessOptions& opt, int iter, Tally& tally) {
     } else {
       ++tally.solved;
     }
+
+    // Phase 5: independent verification. Even a Partial result claims
+    // legality, the clock period and (when P2' was in force) the ELW
+    // bound — the oracle must be able to re-derive all of it.
+    if (opt.verify) {
+      OracleOptions oracle_options;
+      oracle_options.timing = init.timing;
+      oracle_options.rmin = init.rmin;
+      oracle_options.check_elw = init.rmin > 0 && !result.exited_early;
+      const RetimingOracle oracle(g, oracle_options);
+      const Verdict verdict = oracle.verify(result, init.r, gains);
+      if (!verdict.ok()) {
+        std::string detail = verdict.summary();
+        for (const Diagnostic& d : verdict.diagnostics.diagnostics()) {
+          detail += "\n    ";
+          detail += d.render();
+        }
+        return fail("oracle rejected the solver result", detail);
+      }
+      ++tally.verified;
+    }
   } catch (const CancelledError&) {
     ++tally.partial;  // deadline fired inside an all-or-nothing stage
   } catch (const std::exception& e) {
     return fail("retime pipeline threw", e.what());
   }
   return true;
+}
+
+/// One generate-corrupt-drive iteration, with counterexample persistence
+/// around the battery.
+bool run_iteration(const HarnessOptions& opt, int iter, Tally& tally) {
+  std::uint64_t stream = opt.seed + 0x9e3779b97f4a7c15ULL *
+                                        static_cast<std::uint64_t>(iter + 1);
+  Rng rng(splitmix64(stream));
+  const bool use_blif = rng.chance(0.5);
+
+  // Victim circuit -> serialized text -> corrupted text.
+  std::string text;
+  {
+    const Netlist victim = random_victim(rng);
+    std::ostringstream os;
+    if (use_blif)
+      write_blif(os, victim);
+    else
+      write_bench(os, victim);
+    text = mutate_text(os.str(), rng);
+  }
+
+  // Persist the input *before* running anything: if the battery takes the
+  // process down (signal, abort, hang killed from outside), the pending
+  // file is the counterexample.
+  const std::string stem = "seed" + std::to_string(opt.seed) + "-iter" +
+                           std::to_string(iter) +
+                           (use_blif ? ".blif" : ".bench");
+  std::error_code ec;
+  fs::create_directories(opt.corpus, ec);
+  const fs::path pending = fs::path(opt.corpus) / ("pending-" + stem);
+  {
+    std::ofstream out(pending, std::ios::binary);
+    out << text;
+  }
+
+  const std::string label = "iter " + std::to_string(iter) + " (--seed " +
+                            std::to_string(opt.seed) + ")";
+  Failure failure;
+  const bool ok = run_battery(opt, iter, label, text, use_blif, tally,
+                              failure);
+  if (ok) {
+    fs::remove(pending, ec);
+    return true;
+  }
+  const fs::path kept = fs::path(opt.corpus) / ("crash-" + stem);
+  fs::rename(pending, kept, ec);
+  std::ofstream repro(kept.string() + ".repro");
+  repro << "phase: " << failure.phase << "\n"
+        << "what: " << failure.what << "\n"
+        << "reproduce: fault_harness --seed " << opt.seed << " --iters "
+        << (iter + 1) << (opt.verify ? " --verify" : "") << "\n"
+        << "replay: fault_harness --replay " << opt.corpus
+        << (opt.verify ? " --verify" : "") << "\n";
+  std::fprintf(stderr, "  counterexample: %s\n", kept.string().c_str());
+  return false;
+}
+
+/// Replays every .bench/.blif file of a directory through the battery,
+/// in sorted order, with no mutation. Returns the number of failures.
+int run_replay(const HarnessOptions& opt, Tally& tally) {
+  std::vector<fs::path> files;
+  std::error_code ec;
+  for (const auto& entry : fs::directory_iterator(opt.replay, ec)) {
+    if (!entry.is_regular_file()) continue;
+    const std::string ext = entry.path().extension().string();
+    if (ext == ".bench" || ext == ".blif") files.push_back(entry.path());
+  }
+  if (ec) {
+    std::fprintf(stderr, "error: cannot read replay directory %s: %s\n",
+                 opt.replay.c_str(), ec.message().c_str());
+    std::exit(64);
+  }
+  std::sort(files.begin(), files.end());
+
+  int failures = 0;
+  int iter = 0;
+  for (const fs::path& path : files) {
+    std::ifstream in(path, std::ios::binary);
+    std::ostringstream os;
+    os << in.rdbuf();
+    if (!in) {
+      std::fprintf(stderr, "error: cannot read %s\n", path.string().c_str());
+      ++failures;
+      continue;
+    }
+    Failure failure;
+    if (!run_battery(opt, iter, path.string(), os.str(),
+                     path.extension() == ".blif", tally, failure))
+      ++failures;
+    ++iter;
+  }
+  std::printf("fault_harness: replayed %zu file(s) from %s, %d failure(s)\n",
+              files.size(), opt.replay.c_str(), failures);
+  return failures;
 }
 
 }  // namespace
@@ -247,6 +385,8 @@ int main(int argc, char** argv) {
   const auto t0 = std::chrono::steady_clock::now();
 
   Tally tally;
+  if (!opt.replay.empty()) return run_replay(opt, tally) == 0 ? 0 : 1;
+
   int done = 0;
   for (int iter = 0; iter < opt.iters; ++iter, ++done) {
     if (opt.max_seconds > 0) {
@@ -268,5 +408,8 @@ int main(int argc, char** argv) {
       done, elapsed.count(), static_cast<unsigned long long>(opt.seed),
       tally.diagnosed, tally.parsed_clean, tally.strict_threw, tally.solved,
       tally.partial, tally.skipped);
+  if (opt.verify)
+    std::printf("  oracle: %d result(s) verified, 0 rejected\n",
+                tally.verified);
   return 0;
 }

@@ -22,19 +22,31 @@
 //                      best feasible retiming found and exits 75
 //   --recover          parse inputs in recovering mode: defects become
 //                      diagnostics on stderr instead of hard errors
+//   --verify           re-check the result with the independent
+//                      RetimingOracle (src/check); on failure nothing is
+//                      written and the exit code is 76
+//   --fallback         run the graceful-degradation pipeline
+//                      minobswin -> minobs -> minperiod -> identity
+//                      (every stage oracle-verified); implies --verify
+//   --journal <path>   JSONL record of every pipeline attempt
+//                      (requires --fallback)
 //
 // Exit codes (sysexits-style, see docs/ROBUSTNESS.md):
-//   0 success, 64 usage, 65 malformed input data,
-//   70 internal error, 75 deadline expired (partial result written)
+//   0 success, 64 usage, 65 malformed input data, 70 internal error,
+//   75 deadline expired / degraded (partial result written),
+//   76 result verification failed (nothing written)
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <map>
+#include <optional>
 #include <string>
 #include <vector>
 
+#include "check/oracle.hpp"
 #include "core/min_area.hpp"
 #include "flow/experiment.hpp"
+#include "flow/pipeline.hpp"
 #include "gen/paper_suite.hpp"
 #include "gen/random_circuit.hpp"
 #include "netlist/bench_io.hpp"
@@ -64,7 +76,8 @@ using namespace serelin;
                "minarea]\n"
                "           [--period P] [--rmin R] [--patterns K] "
                "[--frames n] [--area-weight w]\n"
-               "           [--deadline sec]\n"
+               "           [--deadline sec] [--verify] [--fallback] "
+               "[--journal path]\n"
                "  lint     <circuit>\n"
                "  convert  <in> <out>\n"
                "  generate <gates> <dffs> <out> [--seed s]\n"
@@ -113,6 +126,9 @@ struct Options {
   std::uint64_t seed = 1;
   double deadline_s = 0.0;  // 0 = unbounded
   Deadline deadline;        // derived from deadline_s at parse time
+  bool verify = false;      // oracle-check the result before writing it
+  bool fallback = false;    // graceful-degradation pipeline
+  std::string journal;      // JSONL attempt journal (--fallback only)
   std::string algorithm = "minobswin";
   std::string suite;
   std::vector<std::string> positional;
@@ -162,6 +178,9 @@ Options parse(int argc, char** argv, int first) {
     else if (a == "--seed") opt.seed = opt_uint(a, value());
     else if (a == "--deadline") opt.deadline_s = opt_double(a, value());
     else if (a == "--recover") g_recover = true;
+    else if (a == "--verify") opt.verify = true;
+    else if (a == "--fallback") opt.fallback = true;
+    else if (a == "--journal") opt.journal = value();
     else if (a == "--algorithm") opt.algorithm = value();
     else if (a == "--suite") opt.suite = value();
     else if (a.rfind("--", 0) == 0) usage(("unknown option " + a).c_str());
@@ -216,11 +235,64 @@ int cmd_analyze(const Options& opt) {
   return 0;
 }
 
+// Graceful-degradation path of `retime`: the solver-pipeline fallback
+// chain, every stage verified by the independent oracle. The retiming
+// graph construction is deterministic, so `g` (built by the caller from
+// the same netlist) indexes the pipeline's result correctly.
+int cmd_retime_fallback(const Options& opt, const Netlist& nl,
+                        const RetimingGraph& g) {
+  PipelineOptions po;
+  po.sim.patterns = opt.patterns;
+  po.sim.frames = opt.frames;
+  po.period = opt.period;
+  po.rmin = opt.rmin;
+  po.area_weight = opt.area_weight;
+  po.deadline = opt.deadline;
+  po.journal_path = opt.journal;
+  po.start = opt.algorithm == "minobs" ? PipelineStage::kMinObs
+                                       : PipelineStage::kMinObsWin;
+  const PipelineResult res = run_pipeline(nl, g.library(), po);
+  for (const StageAttempt& a : res.attempts)
+    std::fprintf(stderr, "pipeline: %s attempt %d: %s%s%s\n",
+                 pipeline_stage_name(a.stage), a.attempt,
+                 a.errored ? a.error.c_str()
+                           : (a.verified ? a.verdict.summary().c_str()
+                                         : "completed (unverified)"),
+                 a.stop_reason != StopReason::kNone ? " [stopped early]" : "",
+                 a.accepted ? " [accepted]" : "");
+  if (!res.journal_healthy)
+    std::fprintf(stderr, "warning: journal writes failed mid-run (%s)\n",
+                 res.journal_path.c_str());
+  if (!res.ok) {
+    std::fprintf(stderr,
+                 "pipeline: no stage produced a verified result\n");
+    return 76;
+  }
+  const Netlist out = apply_retiming(g, res.solver.r, nl.name() + "_rt");
+  write_any(opt.positional[1], out);
+  std::printf("pipeline: accepted stage %s at Phi = %.4g, R_min = %.4g\n",
+              pipeline_stage_name(res.stage), res.timing.period, res.rmin);
+  std::printf("flip-flops %zu -> %zu; wrote %s\n", nl.dff_count(),
+              out.dff_count(), opt.positional[1].c_str());
+  if (res.degraded) {
+    std::printf("degraded: %s\n", res.solver.stop_detail.empty()
+                                      ? "fell back past the first stage"
+                                      : res.solver.stop_detail.c_str());
+    return 75;
+  }
+  return 0;
+}
+
 int cmd_retime(const Options& opt) {
   if (opt.positional.size() != 2) usage("retime needs <in> <out>");
+  if (!opt.journal.empty() && !opt.fallback)
+    usage("--journal requires --fallback");
+  if (opt.fallback && opt.algorithm == "minarea")
+    usage("--fallback starts from minobswin or minobs, not minarea");
   const Netlist nl = read_any(opt.positional[0]);
   CellLibrary lib;
   RetimingGraph g(nl, lib);
+  if (opt.fallback) return cmd_retime_fallback(opt, nl, g);
   InitOptions init_opt;
   init_opt.deadline = opt.deadline;
   const InitResult init = initialize_retiming(g, init_opt);
@@ -229,6 +301,7 @@ int cmd_retime(const Options& opt) {
   const double rmin = opt.rmin >= 0 ? opt.rmin : init.rmin;
 
   SolverResult result;
+  std::optional<ObsGains> gains;
   if (opt.algorithm == "minarea") {
     const MinAreaResult area = min_area_retime(g, timing, init.r, rmin);
     result = area.solver;
@@ -241,14 +314,13 @@ int cmd_retime(const Options& opt) {
     sim.frames = opt.frames;
     sim.deadline = opt.deadline;
     ObservabilityAnalyzer obs(nl, sim);
-    const ObsGains gains =
-        compute_gains(g, obs.run().obs, sim.patterns, opt.area_weight);
+    gains = compute_gains(g, obs.run().obs, sim.patterns, opt.area_weight);
     SolverOptions so;
     so.timing = timing;
     so.rmin = rmin;
     so.enforce_elw = opt.algorithm == "minobswin";
     so.deadline = opt.deadline;
-    result = MinObsWinSolver(g, gains, so).solve(init.r);
+    result = MinObsWinSolver(g, *gains, so).solve(init.r);
     std::printf("%s: K-scaled observability gain %lld, %d commits%s\n",
                 opt.algorithm.c_str(),
                 static_cast<long long>(result.objective_gain),
@@ -256,6 +328,27 @@ int cmd_retime(const Options& opt) {
                 result.exited_early ? " [early exit]" : "");
   } else {
     usage("unknown --algorithm");
+  }
+
+  if (opt.verify) {
+    OracleOptions oracle_options;
+    oracle_options.timing = timing;
+    oracle_options.rmin = rmin;
+    oracle_options.check_elw =
+        opt.algorithm == "minobswin" && rmin > 0 && !result.exited_early;
+    oracle_options.area_weight = opt.area_weight;
+    const RetimingOracle oracle(g, oracle_options);
+    // min-area claims no Eq. (5) objective, so only invariants 1-3 apply.
+    const Verdict verdict = gains ? oracle.verify(result, init.r, *gains)
+                                  : oracle.verify(result.r);
+    if (!verdict.ok()) {
+      for (const Diagnostic& d : verdict.diagnostics.diagnostics())
+        std::fprintf(stderr, "%s\n", d.render().c_str());
+      std::fprintf(stderr, "%s; nothing written\n",
+                   verdict.summary().c_str());
+      return 76;
+    }
+    std::printf("oracle: %s\n", verdict.summary().c_str());
   }
 
   const Netlist out = apply_retiming(g, result.r, nl.name() + "_rt");

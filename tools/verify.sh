@@ -1,29 +1,56 @@
 #!/usr/bin/env bash
-# Tier-1 verification: the regular build + full test suite, then the
-# parallel determinism suite under ThreadSanitizer (gating on zero races),
-# then the full suite + a seeded fault-injection smoke run under
-# ASan+UBSan (gating on zero memory-safety / UB findings).
+# Tier-1 verification: the regular build + full test suite, then an
+# oracle-verified fallback retime over every bundled example circuit,
+# then the parallel determinism suite under ThreadSanitizer (gating on
+# zero races), then the full suite + a seeded fault-injection smoke run
+# with the result oracle under ASan+UBSan (gating on zero memory-safety /
+# UB findings and zero oracle violations).
 #
-#   tools/verify.sh [--skip-tsan] [--skip-asan]
+#   tools/verify.sh [--fast] [--skip-tsan] [--skip-asan]
 #
+# --fast restricts ctest to the `fast` label (the exhaustive-optimality
+# and end-to-end suites are labelled `slow`; see tests/CMakeLists.txt).
 # Run from the repository root. Exits non-zero on the first failure.
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
 SKIP_TSAN=0
 SKIP_ASAN=0
+CTEST_ARGS=()
 for arg in "$@"; do
   case "$arg" in
+    --fast) CTEST_ARGS=(-L fast) ;;
     --skip-tsan) SKIP_TSAN=1 ;;
     --skip-asan) SKIP_ASAN=1 ;;
-    *) echo "usage: tools/verify.sh [--skip-tsan] [--skip-asan]" >&2; exit 64 ;;
+    *) echo "usage: tools/verify.sh [--fast] [--skip-tsan] [--skip-asan]" >&2
+       exit 64 ;;
   esac
 done
 
 echo "== tier-1: build + ctest =="
 cmake -B build -S . > /dev/null
 cmake --build build -j"$(nproc)"
-(cd build && ctest --output-on-failure -j"$(nproc)")
+(cd build && ctest --output-on-failure -j"$(nproc)" "${CTEST_ARGS[@]}")
+
+echo "== oracle: verified fallback retime over the examples =="
+# Every bundled circuit must come back oracle-verified through the
+# graceful-degradation pipeline: exit 0 (converged) and 75 (degraded but
+# verified) are fine, anything else — in particular 76, verification
+# failure — fails the script. Journals land in build/journals/.
+mkdir -p build/journals
+for circuit in examples/circuits/*.bench examples/circuits/*.blif; do
+  [[ -e "$circuit" ]] || continue
+  stem="$(basename "${circuit%.*}")"
+  status=0
+  ./build/tools/serelin_cli retime "$circuit" "build/journals/$stem.out.${circuit##*.}" \
+      --fallback --verify --deadline 60 \
+      --journal "build/journals/$stem.jsonl" > /dev/null || status=$?
+  if [[ "$status" != 0 && "$status" != 75 ]]; then
+    echo "verify: $circuit failed the oracle pipeline (exit $status)" >&2
+    exit 1
+  fi
+  echo "  $stem: ok (exit $status)"
+done
 
 if [[ "$SKIP_TSAN" == 1 ]]; then
   echo "== tsan: skipped =="
@@ -45,8 +72,11 @@ else
   cmake --build build-asan -j"$(nproc)"
   (cd build-asan && ctest --output-on-failure -j"$(nproc)")
   # Seeded fuzz loop through parse -> validate -> deadline-bounded retime
-  # (docs/ROBUSTNESS.md). -fno-sanitize-recover=all means any UB aborts,
-  # so a clean exit certifies the no-crash/no-UB invariant.
-  ./build-asan/tools/fault_harness --seed 1 --iters 2000 --max-seconds 30
+  # -> independent result oracle (docs/ROBUSTNESS.md).
+  # -fno-sanitize-recover=all means any UB aborts, so a clean exit
+  # certifies the no-crash/no-UB/no-oracle-violation invariant; inputs
+  # that do fail are persisted under tests/corpus/found/ for replay.
+  ./build-asan/tools/fault_harness --verify --seed 1 --iters 2000 \
+      --max-seconds 30
 fi
 echo "verify: OK"
