@@ -6,7 +6,9 @@
 
 #include "rgraph/apply.hpp"
 #include "support/check.hpp"
+#include "support/metrics.hpp"
 #include "support/parallel.hpp"
+#include "support/trace.hpp"
 #include "timing/elw.hpp"
 
 namespace serelin {
@@ -108,6 +110,7 @@ RetimingOracle::RetimingOracle(const RetimingGraph& g, OracleOptions options)
 
 InvariantResult RetimingOracle::check_legality(const Retiming& r,
                                                Verdict& v) const {
+  SERELIN_COUNT(kOracleChecks, 1);
   SERELIN_REQUIRE(r.size() == g_->vertex_count(),
                   "oracle: retiming size does not match the graph");
   // Boundary labels first: a moved boundary vertex is a different circuit,
@@ -154,6 +157,7 @@ InvariantResult RetimingOracle::check_legality(const Retiming& r,
 
 InvariantResult RetimingOracle::check_period(const Netlist& retimed,
                                              Verdict& v) const {
+  SERELIN_COUNT(kOracleChecks, 1);
   const double budget = opt_.timing.window_lo();
   const std::vector<double> arrival =
       forward_arrivals(retimed, g_->library());
@@ -189,6 +193,7 @@ InvariantResult RetimingOracle::check_elw(const Netlist& retimed,
     return skipped(Invariant::kElw, "not requested for this result");
   if (opt_.rmin <= 0.0)
     return skipped(Invariant::kElw, "R_min <= 0 (constraint vacuous)");
+  SERELIN_COUNT(kOracleChecks, 1);
   // Recompute exact windows on the materialized netlist (paper Eq. 3) and
   // check every register-to-logic path: a register on ff feeding gate f
   // latches glitches until right(ELW(f)) − d(f); Theorem 1 equates that
@@ -245,6 +250,7 @@ InvariantResult RetimingOracle::check_objective(const SolverResult& result,
                                                 const Retiming& initial,
                                                 const ObsGains& gains,
                                                 Verdict& v) const {
+  SERELIN_COUNT(kOracleChecks, 1);
   SERELIN_REQUIRE(initial.size() == g_->vertex_count() &&
                       gains.vertex_obs.size() == g_->vertex_count(),
                   "oracle: initial/gains size does not match the graph");
@@ -278,6 +284,7 @@ InvariantResult RetimingOracle::check_objective(const SolverResult& result,
 }
 
 Verdict RetimingOracle::verify(const Retiming& r) const {
+  SERELIN_SPAN("oracle/verify");
   Verdict v;
   v.invariants.reserve(4);
   v.invariants.push_back(check_legality(r, v));
@@ -308,6 +315,8 @@ Verdict RetimingOracle::verify(const SolverResult& result,
 
 void RetimingOracle::verify_ser(const Retiming& r, double reported,
                                 const SerOptions& options, Verdict& v) const {
+  SERELIN_SPAN("oracle/verify-ser");
+  SERELIN_COUNT(kOracleChecks, 1);
   InvariantResult* obj = nullptr;
   for (InvariantResult& res : v.invariants)
     if (res.invariant == Invariant::kObjective) obj = &res;

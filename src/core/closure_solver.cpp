@@ -4,6 +4,8 @@
 #include <vector>
 
 #include "support/check.hpp"
+#include "support/metrics.hpp"
+#include "support/trace.hpp"
 #include "timing/constraints.hpp"
 #include "timing/graph_timing.hpp"
 
@@ -44,6 +46,7 @@ class BundleGrower {
     }
     const std::int64_t cap = 4096 + 64 * static_cast<std::int64_t>(n);
     for (std::int64_t step = 0; step < cap; ++step) {
+      SERELIN_COUNT(kBundleGrowSteps, 1);
       // Abandoning a half-grown bundle is safe: `r` is only replaced on
       // commit, so the caller keeps its last feasible retiming.
       if (deadline_.expired()) return Status::kStopped;
@@ -58,6 +61,7 @@ class BundleGrower {
           r = std::move(cand);
           stats.objective_gain += gain;
           ++stats.commits;
+          SERELIN_COUNT(kSolverCommits, 1);
           return Status::kCommitted;
         }
         // Feasible but not improving: shed the seed whose dependency
@@ -78,6 +82,7 @@ class BundleGrower {
         return Status::kExcluded;
       }
       ++stats.iterations;
+      SERELIN_COUNT(kSolverIterations, 1);
       const VertexId p = viol->p;
       const VertexId q = viol->q;
       if (!g_.movable(q)) {
@@ -121,6 +126,7 @@ ClosureSolver::ClosureSolver(const RetimingGraph& g, const ObsGains& gains,
 }
 
 SolverResult ClosureSolver::solve(const Retiming& initial) const {
+  SERELIN_SPAN("solver/closure");
   SERELIN_REQUIRE(g_->valid(initial), "initial retiming must be valid");
   const double rmin = opt_.enforce_elw ? opt_.rmin : 0.0;
   ConstraintChecker checker(*g_, opt_.timing, rmin);

@@ -3,6 +3,8 @@
 #include <algorithm>
 
 #include "support/check.hpp"
+#include "support/metrics.hpp"
+#include "support/trace.hpp"
 #include "timing/graph_timing.hpp"
 
 namespace serelin {
@@ -20,6 +22,7 @@ std::optional<Retiming> MinPeriodRetimer::retime_for_period(
                           : static_cast<int>(g_->vertex_count());
   std::vector<char> moves(g_->vertex_count(), 0);
   for (int pass = 0; pass < passes; ++pass) {
+    SERELIN_COUNT(kFeasPasses, 1);
     // An interrupted probe reports "not feasible for phi" — conservative
     // and safe; minimize() notices the expiry itself and stops cleanly.
     if (opt_.deadline.expired()) return std::nullopt;
@@ -62,6 +65,7 @@ std::optional<Retiming> MinPeriodRetimer::retime_for_period(
 }
 
 MinPeriodRetimer::Result MinPeriodRetimer::minimize() const {
+  SERELIN_SPAN("solver/minperiod");
   // Upper bound: the unretimed critical path (r = 0 always achieves it).
   GraphTiming timing(*g_, TimingParams{0.0, opt_.setup, 0.0});
   const Retiming zero = g_->zero_retiming();

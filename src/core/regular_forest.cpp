@@ -6,6 +6,7 @@
 #include <algorithm>
 
 #include "support/check.hpp"
+#include "support/metrics.hpp"
 
 namespace serelin {
 
@@ -112,6 +113,7 @@ void RegularForest::reroot(VertexId v) {
 
 void RegularForest::cut(VertexId v) {
   SERELIN_ASSERT(!is_root(v), "cannot cut a root");
+  SERELIN_COUNT(kForestCuts, 1);
   const std::int64_t db = big_b_[v];
   const std::int32_t dbl = blocked_[v];
   VertexId a = parent_[v];
@@ -136,6 +138,7 @@ void RegularForest::link(VertexId p, VertexId q) {
 }
 
 void RegularForest::break_tree(VertexId v) {
+  SERELIN_COUNT(kForestBreaks, 1);
   reroot(v);
   // Detach every child of v; each becomes its own tree with its subtree
   // sums already correct. Their tree class changed, so each released
@@ -206,6 +209,7 @@ void RegularForest::restore_regularity(VertexId any_vertex) {
 
 void RegularForest::add_constraint(VertexId p, VertexId q,
                                    std::int32_t needed) {
+  SERELIN_COUNT(kForestConstraints, 1);
   SERELIN_REQUIRE(p < parent_.size() && q < parent_.size(),
                   "constraint endpoints out of range");
   SERELIN_REQUIRE(movable_[p], "constraint source must be movable");

@@ -5,6 +5,8 @@
 
 #include "core/regular_forest.hpp"
 #include "support/check.hpp"
+#include "support/metrics.hpp"
+#include "support/trace.hpp"
 #include "timing/constraints.hpp"
 #include "timing/graph_timing.hpp"
 
@@ -55,6 +57,7 @@ int MinObsWinSolver::run_pass(const ConstraintChecker& checker,
                    "recent constraints: " +
                        trail);
     ++out.iterations;
+    SERELIN_COUNT(kSolverIterations, 1);
 
     // Tentative move: r(v) -= w(v) for the whole positive set.
     for (VertexId v : candidate) {
@@ -76,6 +79,7 @@ int MinObsWinSolver::run_pass(const ConstraintChecker& checker,
       }
       ++commits;
       ++out.commits;
+      SERELIN_COUNT(kSolverCommits, 1);
       continue;
     }
 
@@ -106,6 +110,7 @@ int MinObsWinSolver::run_pass(const ConstraintChecker& checker,
 }
 
 SolverResult MinObsWinSolver::solve(const Retiming& initial) const {
+  SERELIN_SPAN(opt_.enforce_elw ? "solver/minobswin" : "solver/minobs");
   SERELIN_REQUIRE(g_->valid(initial), "initial retiming must be valid");
   const double rmin = opt_.enforce_elw ? opt_.rmin : 0.0;
   ConstraintChecker checker(*g_, opt_.timing, rmin);

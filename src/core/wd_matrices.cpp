@@ -4,7 +4,9 @@
 #include <queue>
 
 #include "support/check.hpp"
+#include "support/metrics.hpp"
 #include "support/parallel.hpp"
+#include "support/trace.hpp"
 
 namespace serelin {
 
@@ -31,6 +33,7 @@ struct WdScratch {
 
 WdMatrices::WdMatrices(const RetimingGraph& g, Deadline deadline)
     : n_(g.vertex_count()) {
+  SERELIN_SPAN("wd/construct");
   w_.assign(n_ * n_, kUnreachable);
   d_.assign(n_ * n_, 0.0);
 
@@ -48,6 +51,7 @@ WdMatrices::WdMatrices(const RetimingGraph& g, Deadline deadline)
   parallel_for(0, n_, grain, deadline, "WdMatrices", [&](std::size_t src,
                                                          int lane) {
     const VertexId s = static_cast<VertexId>(src);
+    SERELIN_COUNT(kWdSources, 1);
     WdScratch& sc = scratch[static_cast<std::size_t>(lane)];
     sc.prepare(n_);
     std::int32_t* wrow = w_.data() + src * n_;
@@ -61,6 +65,7 @@ WdMatrices::WdMatrices(const RetimingGraph& g, Deadline deadline)
     while (!heap.empty()) {
       const auto [wu, u] = heap.top();
       heap.pop();
+      SERELIN_COUNT(kWdHeapPops, 1);
       if (wu != wrow[u]) continue;
       for (EdgeId eid : g.out_edges(u)) {
         const REdge& e = g.edge(eid);
@@ -168,18 +173,22 @@ std::optional<Retiming> wd_retime_for_period(const RetimingGraph& g,
     }
   }
 
-  // Bellman–Ford; a negative cycle means the period is infeasible.
+  // Bellman–Ford; a negative cycle means the period is infeasible. Each
+  // successful relaxation is one pivot of the difference-constraint LP.
   std::vector<std::int64_t> dist(n + 1, 0);
+  std::int64_t relaxations = 0;
   bool changed = true;
   for (std::size_t round = 0; round <= n + 1 && changed; ++round) {
     changed = false;
     for (const ConstraintEdge& e : edges) {
       if (dist[e.from] + e.cost < dist[e.to]) {
         dist[e.to] = dist[e.from] + e.cost;
+        ++relaxations;
         changed = true;
       }
     }
   }
+  SERELIN_COUNT(kLpRelaxations, relaxations);
   if (changed) return std::nullopt;  // still relaxing: negative cycle
 
   Retiming r(n, 0);
@@ -191,6 +200,7 @@ std::optional<Retiming> wd_retime_for_period(const RetimingGraph& g,
 
 WdMinPeriodResult wd_min_period(const RetimingGraph& g, const WdMatrices& wd,
                                 double setup, Deadline deadline) {
+  SERELIN_SPAN("wd/min-period");
   const std::vector<double> budgets = wd.candidate_periods();
   SERELIN_REQUIRE(!budgets.empty(), "graph without paths");
   // Binary search the smallest feasible candidate (feasibility is monotone

@@ -5,7 +5,9 @@
 #include "rgraph/apply.hpp"
 #include "sim/observability.hpp"
 #include "support/check.hpp"
+#include "support/metrics.hpp"
 #include "support/stopwatch.hpp"
+#include "support/trace.hpp"
 
 namespace serelin {
 
@@ -56,44 +58,60 @@ AlgoOutcome run_one(const RetimingGraph& g, const ObsGains& gains,
 ExperimentRow run_experiment(const Netlist& nl, const CellLibrary& lib,
                              const FlowConfig& config) {
   SERELIN_REQUIRE(nl.finalized(), "run_experiment needs a finalized netlist");
+  // An explicit trace request scopes a fresh recording session to this
+  // experiment; metrics are bracketed with a snapshot either way.
+  if (!config.trace_path.empty()) Tracer::start();
+  const MetricsSnapshot metrics_before = metrics_snapshot();
   ExperimentRow row;
-  row.name = nl.name();
+  // Inner scope: the root span must close *before* the exporters run, or
+  // it would miss its own trace file.
+  {
+    SERELIN_SPAN("flow/experiment");
+    row.name = nl.name();
 
-  RetimingGraph g(nl, lib);
-  row.vertices = g.gate_vertices().size();
-  row.edges = g.edge_count();
-  row.ffs = static_cast<std::int64_t>(nl.dff_count());
+    RetimingGraph g(nl, lib);
+    row.vertices = g.gate_vertices().size();
+    row.edges = g.edge_count();
+    row.ffs = static_cast<std::int64_t>(nl.dff_count());
 
-  const InitResult init = initialize_retiming(g, config.init);
-  row.phi = init.timing.period;
-  row.setup_hold_ok = init.setup_hold_ok;
-  row.rmin = std::isnan(config.rmin_override) ? init.rmin
-                                              : config.rmin_override;
+    const InitResult init = initialize_retiming(g, config.init);
+    row.phi = init.timing.period;
+    row.setup_hold_ok = init.setup_hold_ok;
+    row.rmin = std::isnan(config.rmin_override) ? init.rmin
+                                                : config.rmin_override;
 
-  Stopwatch analysis_watch;
-  ObservabilityAnalyzer obs_engine(nl, config.sim);
-  const ObsResult obs = obs_engine.run();
-  const ObsGains gains =
-      compute_gains(g, obs.obs, config.sim.patterns, config.area_weight);
-  if (config.reanalyze_ser) {
-    SerOptions ser;
-    ser.timing = init.timing;
-    ser.sim = config.sim;
-    row.ser_original = analyze_ser(nl, lib, ser).total;
+    Stopwatch analysis_watch;
+    ObservabilityAnalyzer obs_engine(nl, config.sim);
+    const ObsResult obs = obs_engine.run();
+    const ObsGains gains =
+        compute_gains(g, obs.obs, config.sim.patterns, config.area_weight);
+    if (config.reanalyze_ser) {
+      SerOptions ser;
+      ser.timing = init.timing;
+      ser.sim = config.sim;
+      row.ser_original = analyze_ser(nl, lib, ser).total;
+    }
+    row.analysis_seconds = analysis_watch.seconds();
+
+    SolverOptions options;
+    options.timing = init.timing;
+    options.rmin = row.rmin;
+    options.enforce_elw = true;
+    row.minobswin = run_one(g, gains, options, init.r, lib, config, row.ffs,
+                            row.ser_original);
+    if (config.run_minobs) {
+      options.enforce_elw = false;
+      row.minobs = run_one(g, gains, options, init.r, lib, config, row.ffs,
+                           row.ser_original);
+    }
   }
-  row.analysis_seconds = analysis_watch.seconds();
-
-  SolverOptions options;
-  options.timing = init.timing;
-  options.rmin = row.rmin;
-  options.enforce_elw = true;
-  row.minobswin = run_one(g, gains, options, init.r, lib, config, row.ffs,
-                          row.ser_original);
-  if (config.run_minobs) {
-    options.enforce_elw = false;
-    row.minobs = run_one(g, gains, options, init.r, lib, config, row.ffs,
-                         row.ser_original);
+  if (!config.trace_path.empty()) {
+    Tracer::stop();
+    Tracer::write_chrome_json(config.trace_path);
   }
+  if (!config.metrics_path.empty())
+    write_metrics_json(metrics_snapshot() - metrics_before,
+                       config.metrics_path);
   return row;
 }
 

@@ -39,6 +39,11 @@ struct FlowConfig {
   /// result; verdicts land in AlgoOutcome::verdict. A failed verdict does
   /// not abort the experiment — Table-I harnesses report it per row.
   bool verify = false;
+  /// When non-empty, the experiment runs under a fresh tracing session and
+  /// writes the Chrome trace_event JSON here (see docs/OBSERVABILITY.md).
+  std::string trace_path;
+  /// When non-empty, the flat counter-totals JSON of the run lands here.
+  std::string metrics_path;
 };
 
 /// Results of one algorithm on one circuit (one half of a Table-I row).

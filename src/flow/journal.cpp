@@ -4,6 +4,7 @@
 #include <cstdio>
 
 #include "support/check.hpp"
+#include "support/metrics.hpp"
 
 namespace serelin {
 
@@ -78,6 +79,11 @@ JsonObject& JsonObject::set(const std::string& key, bool value) {
   return raw(key, value ? "true" : "false");
 }
 
+JsonObject& JsonObject::set_json(const std::string& key,
+                                 const std::string& json) {
+  return raw(key, json);
+}
+
 const std::string& JsonObject::str() const {
   if (!closed_) {
     body_ += body_.empty() ? "{}" : "}";
@@ -93,6 +99,7 @@ RunJournal::RunJournal(const std::string& path)
 
 void RunJournal::write(const JsonObject& obj) {
   if (!enabled_ || !healthy_) return;
+  SERELIN_COUNT(kJournalWrites, 1);
   out_ << obj.str() << '\n';
   out_.flush();
   if (!out_) healthy_ = false;  // disk full etc.: degrade, never abort a run

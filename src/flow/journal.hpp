@@ -30,6 +30,10 @@ class JsonObject {
   JsonObject& set(const std::string& key, int value);
   JsonObject& set(const std::string& key, bool value);
 
+  /// Splices `json` in verbatim as the value — it must already be valid
+  /// JSON (e.g. a nested object from metrics_json()). No escaping happens.
+  JsonObject& set_json(const std::string& key, const std::string& json);
+
   /// "{...}" — the serialized object.
   const std::string& str() const;
 

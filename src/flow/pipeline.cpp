@@ -10,7 +10,9 @@
 #include "rgraph/retiming_graph.hpp"
 #include "sim/observability.hpp"
 #include "support/check.hpp"
+#include "support/metrics.hpp"
 #include "support/stopwatch.hpp"
+#include "support/trace.hpp"
 
 namespace serelin {
 
@@ -30,6 +32,22 @@ const char* pipeline_stage_name(PipelineStage s) {
 
 namespace {
 
+/// Stage span labels must be literals with static storage (the tracer
+/// keeps the pointer), hence this sibling of pipeline_stage_name.
+[[maybe_unused]] const char* stage_span_name(PipelineStage s) {
+  switch (s) {
+    case PipelineStage::kMinObsWin:
+      return "pipeline/minobswin";
+    case PipelineStage::kMinObs:
+      return "pipeline/minobs";
+    case PipelineStage::kMinPeriod:
+      return "pipeline/minperiod";
+    case PipelineStage::kIdentity:
+      return "pipeline/identity";
+  }
+  return "pipeline/identity";
+}
+
 /// What one stage hands to the oracle: a result plus the timing context it
 /// claims to be valid under (the identity stage relaxes the period).
 struct StageCandidate {
@@ -40,7 +58,8 @@ struct StageCandidate {
   bool has_gains = false;  ///< objective_gain is a real Eq. (5) claim
 };
 
-void journal_attempt(RunJournal& journal, const StageAttempt& a) {
+void journal_attempt(RunJournal& journal, const StageAttempt& a,
+                     const MetricsSnapshot& metrics) {
   JsonObject o;
   o.set("event", "attempt")
       .set("stage", pipeline_stage_name(a.stage))
@@ -57,6 +76,7 @@ void journal_attempt(RunJournal& journal, const StageAttempt& a) {
       o.set(invariant_name(r.invariant), check_status_name(r.status));
   }
   o.set("accepted", a.accepted);
+  if (metrics_compiled_in()) o.set_json("metrics", metrics_json(metrics));
   journal.write(o);
 }
 
@@ -64,6 +84,7 @@ void journal_attempt(RunJournal& journal, const StageAttempt& a) {
 
 PipelineResult run_pipeline(const Netlist& nl, const CellLibrary& lib,
                             const PipelineOptions& options) {
+  SERELIN_SPAN("pipeline/run");
   SERELIN_REQUIRE(nl.finalized(), "run_pipeline needs a finalized netlist");
   RunJournal journal = options.journal_path.empty()
                            ? RunJournal()
@@ -189,6 +210,7 @@ PipelineResult run_pipeline(const Netlist& nl, const CellLibrary& lib,
                                             : auto_budget)
               : auto_budget * options.retry_factor;
       const Deadline slice = options.deadline.slice(budget);
+      SERELIN_COUNT(kDeadlineSlices, 1);
 
       StageAttempt rec;
       rec.stage = stage;
@@ -196,8 +218,10 @@ PipelineResult run_pipeline(const Netlist& nl, const CellLibrary& lib,
       rec.budget_seconds = budget;
       bool cancelled = false;
       std::optional<StageCandidate> candidate;
+      const MetricsSnapshot metrics_before = metrics_snapshot();
       Stopwatch watch;
       try {
+        SERELIN_SPAN(stage_span_name(stage));
         candidate = run_stage(stage, slice);
       } catch (const CancelledError& e) {
         rec.errored = true;
@@ -230,7 +254,7 @@ PipelineResult run_pipeline(const Netlist& nl, const CellLibrary& lib,
           rec.accepted = true;
         }
       }
-      journal_attempt(journal, rec);
+      journal_attempt(journal, rec, metrics_snapshot() - metrics_before);
       out.attempts.push_back(rec);
 
       if (rec.accepted) {

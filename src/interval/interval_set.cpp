@@ -4,6 +4,7 @@
 #include <ostream>
 
 #include "support/check.hpp"
+#include "support/metrics.hpp"
 
 namespace serelin {
 
@@ -45,16 +46,19 @@ bool IntervalSet::contains(double x) const {
 
 void IntervalSet::insert(double lo, double hi) {
   SERELIN_REQUIRE(lo <= hi, "interval needs lo <= hi");
+  SERELIN_COUNT(kElwIntervalOps, 1);
   parts_.push_back({lo, hi});
   normalize();
 }
 
 void IntervalSet::unite(const IntervalSet& other) {
+  SERELIN_COUNT(kElwIntervalOps, 1);
   parts_.insert(parts_.end(), other.parts_.begin(), other.parts_.end());
   normalize();
 }
 
 IntervalSet IntervalSet::shifted(double delta) const {
+  SERELIN_COUNT(kElwIntervalOps, 1);
   IntervalSet out;
   out.parts_.reserve(parts_.size());
   for (const auto& iv : parts_) out.parts_.push_back({iv.lo + delta, iv.hi + delta});
@@ -64,6 +68,7 @@ IntervalSet IntervalSet::shifted(double delta) const {
 
 IntervalSet IntervalSet::clamped(double lo, double hi) const {
   SERELIN_REQUIRE(lo <= hi, "clamp window needs lo <= hi");
+  SERELIN_COUNT(kElwIntervalOps, 1);
   IntervalSet out;
   for (const auto& iv : parts_) {
     const double a = std::max(iv.lo, lo);

@@ -3,12 +3,15 @@
 #include <algorithm>
 
 #include "support/check.hpp"
+#include "support/metrics.hpp"
 #include "support/parallel.hpp"
+#include "support/trace.hpp"
 
 namespace serelin {
 
 SerReport analyze_ser(const Netlist& nl, const CellLibrary& lib,
                       const SerOptions& options) {
+  SERELIN_SPAN("ser/analyze");
   SERELIN_REQUIRE(options.timing.period > 0.0,
                   "SER analysis needs a positive clock period");
   SerReport report;
@@ -30,6 +33,7 @@ SerReport analyze_ser(const Netlist& nl, const CellLibrary& lib,
     const NodeId id = static_cast<NodeId>(idx);
     const Node& n = nl.node(id);
     if (!is_gate(n.type) && n.type != CellType::kDff) return;
+    SERELIN_COUNT(kSerTerms, 1);
     const double err = lib.err(n.type);
     const double window =
         options.timing_masking ? report.elw.measure(id, phi) / phi : 1.0;

@@ -5,7 +5,9 @@
 #include <memory>
 
 #include "support/check.hpp"
+#include "support/metrics.hpp"
 #include "support/parallel.hpp"
+#include "support/trace.hpp"
 
 namespace serelin {
 
@@ -25,6 +27,7 @@ ObservabilityAnalyzer::ObservabilityAnalyzer(const Netlist& nl, SimConfig cfg)
 }
 
 void ObservabilityAnalyzer::record_run() {
+  SERELIN_SPAN("obs/record");
   Rng rng(cfg_.seed);
   Simulator sim(*nl_, words_);
   sim.reset_state();
@@ -47,11 +50,13 @@ void ObservabilityAnalyzer::record_run() {
 }
 
 ObsResult ObservabilityAnalyzer::run(Mode mode) {
+  SERELIN_SPAN("obs/run");
   record_run();
   return mode == Mode::kSignature ? run_signature() : run_exact();
 }
 
 ObsResult ObservabilityAnalyzer::run_signature() {
+  SERELIN_SPAN("obs/signature");
   const std::size_t n_nodes = nl_->node_count();
   const std::size_t plane = n_nodes * static_cast<std::size_t>(words_);
   Simulator sim(*nl_, words_);
@@ -186,6 +191,7 @@ void ObservabilityAnalyzer::observables(NodeId flip, Simulator& sim,
       auto fv = sim.value(flip);
       for (auto& w : fv) w = ~w;
       // Recompute gates downstream of flip (all gates; pin the flip).
+      std::int64_t reevaluated = 0;
       for (NodeId id : nl_->gate_order()) {
         if (id == flip) continue;
         const Node& n = nl_->node(id);
@@ -196,7 +202,9 @@ void ObservabilityAnalyzer::observables(NodeId flip, Simulator& sim,
             gather[k] = sim.value(n.fanins[k])[w];
           outw[w] = eval_cell(n.type, {gather.data(), n.fanins.size()});
         }
+        ++reevaluated;
       }
+      SERELIN_COUNT(kSimPatternWords, reevaluated * words_);
     } else {
       sim.eval_frame();
     }
@@ -211,6 +219,7 @@ void ObservabilityAnalyzer::observables(NodeId flip, Simulator& sim,
 }
 
 ObsResult ObservabilityAnalyzer::run_exact() {
+  SERELIN_SPAN("obs/exact");
   ObsResult out;
   out.obs.assign(nl_->node_count(), 0.0);
 
@@ -238,6 +247,7 @@ ObsResult ObservabilityAnalyzer::run_exact() {
                "observability exact pass", [&](std::size_t v, int lane) {
     LaneScratch& sc = lanes[static_cast<std::size_t>(lane)];
     if (!sc.sim) sc.sim = std::make_unique<Simulator>(*nl_, words_);
+    SERELIN_COUNT(kObsFlips, 1);
     observables(static_cast<NodeId>(v), *sc.sim, sc.gather, sc.plane);
     SERELIN_ASSERT(sc.plane.size() == base.size(),
                    "observable plane mismatch");

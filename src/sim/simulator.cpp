@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "support/check.hpp"
+#include "support/metrics.hpp"
 
 namespace serelin {
 
@@ -63,6 +64,8 @@ void Simulator::eval_frame() {
       out[w] = eval_cell(n.type, {scratch_.data(), n.fanins.size()});
     }
   }
+  SERELIN_COUNT(kSimPatternWords,
+                static_cast<std::int64_t>(nl_->gate_order().size()) * words_);
 }
 
 void Simulator::step() {

@@ -1,0 +1,119 @@
+#include "support/metrics.hpp"
+
+#include <fstream>
+#include <mutex>
+#include <vector>
+
+#include "support/check.hpp"
+
+namespace serelin {
+
+const char* counter_name(Counter c) {
+  switch (c) {
+    case Counter::kLpRelaxations: return "lp-relaxations";
+    case Counter::kFeasPasses: return "feas-passes";
+    case Counter::kTimingPasses: return "timing-passes";
+    case Counter::kSolverIterations: return "solver-iterations";
+    case Counter::kSolverCommits: return "solver-commits";
+    case Counter::kForestConstraints: return "forest-constraints";
+    case Counter::kForestBreaks: return "forest-breaks";
+    case Counter::kForestCuts: return "forest-cuts";
+    case Counter::kBundleGrowSteps: return "bundle-grow-steps";
+    case Counter::kWdSources: return "wd-sources";
+    case Counter::kWdHeapPops: return "wd-heap-pops";
+    case Counter::kElwIntervalOps: return "elw-interval-ops";
+    case Counter::kSimPatternWords: return "sim-pattern-words";
+    case Counter::kObsFlips: return "obs-flips";
+    case Counter::kSerTerms: return "ser-terms";
+    case Counter::kOracleChecks: return "oracle-checks";
+    case Counter::kDeadlineSlices: return "deadline-slices";
+    case Counter::kJournalWrites: return "journal-writes";
+    case Counter::kCount: break;
+  }
+  return "unknown";
+}
+
+std::string metrics_json(const MetricsSnapshot& snapshot) {
+  std::string out = "{";
+  for (std::size_t i = 0; i < kCounterCount; ++i) {
+    if (i) out += ", ";
+    out += '"';
+    out += counter_name(static_cast<Counter>(i));
+    out += "\": ";
+    out += std::to_string(snapshot.values[i]);
+  }
+  out += '}';
+  return out;
+}
+
+void write_metrics_json(const MetricsSnapshot& snapshot,
+                        const std::string& path) {
+  std::ofstream out(path, std::ios::trunc);
+  SERELIN_REQUIRE(static_cast<bool>(out),
+                  "cannot open metrics file for writing: " + path);
+  out << metrics_json(snapshot) << '\n';
+  out.flush();
+  SERELIN_REQUIRE(static_cast<bool>(out),
+                  "failed writing metrics file: " + path);
+}
+
+#if SERELIN_TRACE_ENABLED
+
+namespace {
+
+/// One per-thread counter block. Blocks outlive their threads: the
+/// registry owns them (a worker that exits leaves its totals behind, so
+/// snapshots never lose counts).
+struct CounterBlock {
+  std::int64_t values[kCounterCount] = {};
+};
+
+struct Registry {
+  std::mutex mutex;
+  std::vector<CounterBlock*> blocks;  // registration order; never shrinks
+};
+
+Registry& registry() {
+  static Registry* r = new Registry();  // leaked: usable during exit
+  return *r;
+}
+
+CounterBlock* register_block() {
+  auto* block = new CounterBlock();
+  Registry& r = registry();
+  const std::lock_guard<std::mutex> lock(r.mutex);
+  r.blocks.push_back(block);
+  return block;
+}
+
+}  // namespace
+
+namespace detail {
+
+std::int64_t* metric_lane() {
+  thread_local CounterBlock* block = register_block();
+  return block->values;
+}
+
+}  // namespace detail
+
+MetricsSnapshot metrics_snapshot() {
+  MetricsSnapshot out;
+  Registry& r = registry();
+  const std::lock_guard<std::mutex> lock(r.mutex);
+  for (const CounterBlock* block : r.blocks)
+    for (std::size_t i = 0; i < kCounterCount; ++i)
+      out.values[i] += block->values[i];
+  return out;
+}
+
+void metrics_reset() {
+  Registry& r = registry();
+  const std::lock_guard<std::mutex> lock(r.mutex);
+  for (CounterBlock* block : r.blocks)
+    for (std::size_t i = 0; i < kCounterCount; ++i) block->values[i] = 0;
+}
+
+#endif  // SERELIN_TRACE_ENABLED
+
+}  // namespace serelin

@@ -1,0 +1,181 @@
+#include "support/trace.hpp"
+
+#include <fstream>
+
+#include "support/check.hpp"
+
+#if SERELIN_TRACE_ENABLED
+
+#include <atomic>
+#include <chrono>
+#include <mutex>
+#include <vector>
+
+namespace serelin {
+
+namespace {
+
+struct Event {
+  const char* name;
+  std::uint64_t ts_ns;
+  std::uint64_t dur_ns;
+  std::int32_t depth;
+};
+
+/// Per-thread span storage. Owned by the registry (a thread that exits
+/// leaves its events behind for export); tid is the registration index,
+/// so export order is deterministic given a deterministic thread pool.
+struct EventBuffer {
+  int tid = 0;
+  std::int32_t depth = 0;
+  std::vector<Event> events;
+};
+
+struct Registry {
+  std::mutex mutex;
+  std::vector<EventBuffer*> buffers;  // registration (tid) order
+  std::chrono::steady_clock::time_point t0;
+};
+
+Registry& registry() {
+  static Registry* r = new Registry();  // leaked: usable during exit
+  return *r;
+}
+
+std::atomic<bool> g_active{false};
+
+EventBuffer* register_buffer() {
+  auto* buffer = new EventBuffer();
+  Registry& r = registry();
+  const std::lock_guard<std::mutex> lock(r.mutex);
+  buffer->tid = static_cast<int>(r.buffers.size());
+  r.buffers.push_back(buffer);
+  return buffer;
+}
+
+EventBuffer& local_buffer() {
+  thread_local EventBuffer* buffer = register_buffer();
+  return *buffer;
+}
+
+std::uint64_t now_ns() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now() - registry().t0)
+          .count());
+}
+
+/// Span names are string literals under our control, but escape anyway so
+/// a stray quote can never corrupt the export.
+void append_escaped(std::string& out, const char* s) {
+  for (; *s; ++s) {
+    const char c = *s;
+    if (c == '"' || c == '\\') {
+      out += '\\';
+      out += c;
+    } else if (static_cast<unsigned char>(c) < 0x20) {
+      out += ' ';
+    } else {
+      out += c;
+    }
+  }
+}
+
+}  // namespace
+
+TraceSpan::TraceSpan(const char* name) {
+  if (!Tracer::active()) return;
+  name_ = name;
+  EventBuffer& buffer = local_buffer();
+  depth_ = buffer.depth++;
+  start_ns_ = now_ns();
+}
+
+TraceSpan::~TraceSpan() {
+  if (!name_) return;
+  const std::uint64_t end_ns = now_ns();
+  EventBuffer& buffer = local_buffer();
+  --buffer.depth;
+  buffer.events.push_back({name_, start_ns_, end_ns - start_ns_, depth_});
+}
+
+bool Tracer::active() { return g_active.load(std::memory_order_relaxed); }
+
+void Tracer::start() {
+  Registry& r = registry();
+  const std::lock_guard<std::mutex> lock(r.mutex);
+  for (EventBuffer* buffer : r.buffers) {
+    buffer->events.clear();
+    buffer->depth = 0;
+  }
+  r.t0 = std::chrono::steady_clock::now();
+  g_active.store(true, std::memory_order_relaxed);
+}
+
+void Tracer::stop() { g_active.store(false, std::memory_order_relaxed); }
+
+std::size_t Tracer::event_count() {
+  Registry& r = registry();
+  const std::lock_guard<std::mutex> lock(r.mutex);
+  std::size_t n = 0;
+  for (const EventBuffer* buffer : r.buffers) n += buffer->events.size();
+  return n;
+}
+
+std::string Tracer::chrome_json() {
+  Registry& r = registry();
+  const std::lock_guard<std::mutex> lock(r.mutex);
+  std::string out = "{\"traceEvents\": [";
+  bool first = true;
+  for (const EventBuffer* buffer : r.buffers) {
+    for (const Event& e : buffer->events) {
+      out += first ? "\n" : ",\n";
+      first = false;
+      // Complete events ("ph": "X"); ts/dur are microseconds per the
+      // trace_event spec, fractional for sub-microsecond spans.
+      out += "  {\"name\": \"";
+      append_escaped(out, e.name);
+      out += "\", \"cat\": \"serelin\", \"ph\": \"X\", \"ts\": ";
+      out += std::to_string(static_cast<double>(e.ts_ns) / 1e3);
+      out += ", \"dur\": ";
+      out += std::to_string(static_cast<double>(e.dur_ns) / 1e3);
+      out += ", \"pid\": 1, \"tid\": ";
+      out += std::to_string(buffer->tid);
+      out += ", \"args\": {\"depth\": ";
+      out += std::to_string(e.depth);
+      out += "}}";
+    }
+  }
+  out += "\n], \"displayTimeUnit\": \"ms\"}\n";
+  return out;
+}
+
+}  // namespace serelin
+
+#else  // !SERELIN_TRACE_ENABLED — inert shell, still valid output
+
+namespace serelin {
+
+bool Tracer::active() { return false; }
+void Tracer::start() {}
+void Tracer::stop() {}
+std::size_t Tracer::event_count() { return 0; }
+std::string Tracer::chrome_json() {
+  return "{\"traceEvents\": [], \"displayTimeUnit\": \"ms\"}\n";
+}
+
+}  // namespace serelin
+
+#endif  // SERELIN_TRACE_ENABLED
+
+namespace serelin {
+
+void Tracer::write_chrome_json(const std::string& path) {
+  std::ofstream out(path, std::ios::trunc);
+  SERELIN_REQUIRE(out.is_open(), "cannot open trace file '" + path + "'");
+  out << chrome_json();
+  out.flush();
+  SERELIN_REQUIRE(out.good(), "failed writing trace file '" + path + "'");
+}
+
+}  // namespace serelin

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "support/check.hpp"
+#include "support/trace.hpp"
 
 namespace serelin {
 
@@ -12,6 +13,7 @@ double ElwResult::measure(NodeId node, double period) const {
 
 ElwResult compute_elw(const Netlist& nl, const CellLibrary& lib,
                       const TimingParams& params) {
+  SERELIN_SPAN("elw/compute");
   SERELIN_REQUIRE(nl.finalized(), "compute_elw needs a finalized netlist");
   ElwResult out;
   out.elw.assign(nl.node_count(), IntervalSet{});

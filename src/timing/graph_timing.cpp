@@ -3,6 +3,8 @@
 #include <algorithm>
 
 #include "support/check.hpp"
+#include "support/metrics.hpp"
+#include "support/trace.hpp"
 
 namespace serelin {
 
@@ -41,6 +43,8 @@ void GraphTiming::topo_sort(const Retiming& r) {
 }
 
 void GraphTiming::compute(const Retiming& r) {
+  SERELIN_SPAN("timing/pass");
+  SERELIN_COUNT(kTimingPasses, 1);
   topo_sort(r);
 
   // Forward pass: FEAS arrival times. A vertex's arrival is measured at its

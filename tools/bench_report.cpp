@@ -24,6 +24,7 @@
 #include "ser/ser_analyzer.hpp"
 #include "sim/observability.hpp"
 #include "support/check.hpp"
+#include "support/metrics.hpp"
 #include "support/parallel.hpp"
 #include "support/stopwatch.hpp"
 #include "support/strings.hpp"
@@ -43,6 +44,11 @@ struct KernelReport {
   std::string config;
   std::vector<Cell> cells;
   bool identical = true;  // results bit-identical across thread counts
+  /// Named-counter totals of one run (all zero when SERELIN_TRACE=OFF).
+  MetricsSnapshot counters;
+  /// Counter totals identical for every thread count (the determinism
+  /// contract extends to the instrumentation; docs/OBSERVABILITY.md).
+  bool counters_identical = true;
 };
 
 [[noreturn]] void usage_error(const std::string& msg) {
@@ -90,26 +96,37 @@ KernelReport measure(const std::string& name, const std::string& config,
   rep.name = name;
   rep.config = config;
   std::vector<std::uint64_t> reference;
+  bool have_counters = false;
   double t1_ms = 0.0;
   for (int threads : thread_counts) {
     set_execution_threads(threads);
     double best_ms = 0.0;
     std::vector<std::uint64_t> fingerprint;
+    MetricsSnapshot counters;
     for (int r = 0; r < repeat; ++r) {
+      const MetricsSnapshot before = metrics_snapshot();
       Stopwatch sw;
       fingerprint = run();
       const double ms = sw.seconds() * 1e3;
+      counters = metrics_snapshot() - before;
       if (r == 0 || ms < best_ms) best_ms = ms;
     }
     if (reference.empty())
       reference = fingerprint;
     else if (fingerprint != reference)
       rep.identical = false;
+    if (!have_counters) {
+      rep.counters = counters;
+      have_counters = true;
+    } else if (!(counters == rep.counters)) {
+      rep.counters_identical = false;
+    }
     if (threads == thread_counts.front()) t1_ms = best_ms;
     rep.cells.push_back({threads, best_ms, t1_ms / best_ms});
-    std::printf("  %-14s threads=%-2d  %10.1f ms  (x%.2f)%s\n", name.c_str(),
-                threads, best_ms, t1_ms / best_ms,
-                rep.identical ? "" : "  MISMATCH");
+    std::printf("  %-14s threads=%-2d  %10.1f ms  (x%.2f)%s%s\n",
+                name.c_str(), threads, best_ms, t1_ms / best_ms,
+                rep.identical ? "" : "  MISMATCH",
+                rep.counters_identical ? "" : "  COUNTER-MISMATCH");
   }
   set_execution_threads(0);
   return rep;
@@ -145,6 +162,10 @@ void write_json(const char* path, const RandomCircuitSpec& spec,
                  rep.name.c_str(), rep.config.c_str());
     std::fprintf(f, "     \"bit_identical_across_threads\": %s,\n",
                  rep.identical ? "true" : "false");
+    std::fprintf(f, "     \"counters_identical_across_threads\": %s,\n",
+                 rep.counters_identical ? "true" : "false");
+    std::fprintf(f, "     \"counters\": %s,\n",
+                 metrics_json(rep.counters).c_str());
     std::fprintf(f, "     \"results\": [");
     for (std::size_t i = 0; i < rep.cells.size(); ++i) {
       const Cell& c = rep.cells[i];
@@ -258,10 +279,12 @@ int main(int argc, char** argv) {
     }
 
     bool all_identical = true;
-    for (const KernelReport& k : kernels) all_identical &= k.identical;
+    for (const KernelReport& k : kernels)
+      all_identical &= k.identical && k.counters_identical;
     SERELIN_REQUIRE(all_identical,
-                    "kernel results differ across thread counts — "
-                    "determinism contract violated, refusing to write report");
+                    "kernel results or counter totals differ across thread "
+                    "counts — determinism contract violated, refusing to "
+                    "write report");
     write_json(out_path, spec, kernels);
     std::printf("wrote %s\n", out_path);
     return 0;

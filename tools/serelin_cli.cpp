@@ -30,6 +30,10 @@
 //                      (every stage oracle-verified); implies --verify
 //   --journal <path>   JSONL record of every pipeline attempt
 //                      (requires --fallback)
+//   --trace <path>     Chrome trace_event JSON of the whole command
+//                      (load in chrome://tracing or ui.perfetto.dev)
+//   --metrics <path>   flat JSON of the named solver/kernel counters
+//                      (schemas: docs/OBSERVABILITY.md)
 //
 // Exit codes (sysexits-style, see docs/ROBUSTNESS.md):
 //   0 success, 64 usage, 65 malformed input data, 70 internal error,
@@ -57,9 +61,11 @@
 #include "support/check.hpp"
 #include "support/deadline.hpp"
 #include "support/diag.hpp"
+#include "support/metrics.hpp"
 #include "support/parallel.hpp"
 #include "support/strings.hpp"
 #include "support/table.hpp"
+#include "support/trace.hpp"
 
 namespace {
 
@@ -83,7 +89,9 @@ using namespace serelin;
                "  generate <gates> <dffs> <out> [--seed s]\n"
                "  generate --suite <name> <out>\n"
                "common: --recover (diagnose-and-continue input parsing), "
-               "--threads N\n"
+               "--threads N,\n"
+               "        --trace path (Chrome trace JSON), --metrics path "
+               "(counter totals JSON)\n"
                "circuit formats by extension: .bench, .blif\n");
   std::exit(64);
 }
@@ -129,6 +137,8 @@ struct Options {
   bool verify = false;      // oracle-check the result before writing it
   bool fallback = false;    // graceful-degradation pipeline
   std::string journal;      // JSONL attempt journal (--fallback only)
+  std::string trace;        // Chrome trace_event JSON output path
+  std::string metrics;      // counter-totals JSON output path
   std::string algorithm = "minobswin";
   std::string suite;
   std::vector<std::string> positional;
@@ -181,6 +191,8 @@ Options parse(int argc, char** argv, int first) {
     else if (a == "--verify") opt.verify = true;
     else if (a == "--fallback") opt.fallback = true;
     else if (a == "--journal") opt.journal = value();
+    else if (a == "--trace") opt.trace = value();
+    else if (a == "--metrics") opt.metrics = value();
     else if (a == "--algorithm") opt.algorithm = value();
     else if (a == "--suite") opt.suite = value();
     else if (a.rfind("--", 0) == 0) usage(("unknown option " + a).c_str());
@@ -425,13 +437,28 @@ int main(int argc, char** argv) {
     Options opt = parse(argc, argv, 2);
     if (opt.threads < 0) usage("--threads must be >= 0 (0 = hardware)");
     set_execution_threads(opt.threads);
-    if (cmd == "stats") return cmd_stats(opt);
-    if (cmd == "analyze") return cmd_analyze(opt);
-    if (cmd == "retime") return cmd_retime(opt);
-    if (cmd == "lint") return cmd_lint(opt);
-    if (cmd == "convert") return cmd_convert(opt);
-    if (cmd == "generate") return cmd_generate(opt);
-    usage(("unknown command '" + cmd + "'").c_str());
+    const bool instrument = !opt.trace.empty() || !opt.metrics.empty();
+    if (instrument && !trace_compiled_in())
+      std::fprintf(stderr,
+                   "note: built with SERELIN_TRACE=OFF; --trace/--metrics "
+                   "outputs will be empty\n");
+    if (!opt.trace.empty()) Tracer::start();
+    const MetricsSnapshot metrics_before = metrics_snapshot();
+    int rc = -1;
+    if (cmd == "stats") rc = cmd_stats(opt);
+    else if (cmd == "analyze") rc = cmd_analyze(opt);
+    else if (cmd == "retime") rc = cmd_retime(opt);
+    else if (cmd == "lint") rc = cmd_lint(opt);
+    else if (cmd == "convert") rc = cmd_convert(opt);
+    else if (cmd == "generate") rc = cmd_generate(opt);
+    else usage(("unknown command '" + cmd + "'").c_str());
+    if (!opt.trace.empty()) {
+      Tracer::stop();
+      Tracer::write_chrome_json(opt.trace);
+    }
+    if (!opt.metrics.empty())
+      write_metrics_json(metrics_snapshot() - metrics_before, opt.metrics);
+    return rc;
   } catch (const CancelledError& e) {
     // An all-or-nothing kernel hit the --deadline before any partial
     // result existed; there is nothing useful to write.

@@ -1,76 +1,104 @@
 #!/usr/bin/env bash
-# Tier-1 verification: the regular build + full test suite, then an
-# oracle-verified fallback retime over every bundled example circuit,
-# then the parallel determinism suite under ThreadSanitizer (gating on
-# zero races), then the full suite + a seeded fault-injection smoke run
-# with the result oracle under ASan+UBSan (gating on zero memory-safety /
-# UB findings and zero oracle violations).
+# Tier-1 verification, split into named stages so CI jobs can run each
+# in isolation while `tools/verify.sh` with no arguments still runs the
+# whole ladder locally:
 #
-#   tools/verify.sh [--fast] [--skip-tsan] [--skip-asan]
+#   tier1     regular build + full test suite
+#   examples  oracle-verified fallback retime over every bundled circuit
+#   tsan      parallel determinism + tracer suites under ThreadSanitizer
+#   asan      full suite under ASan+UBSan
+#   fault     seeded fault-injection smoke + corpus replay under ASan+UBSan
 #
-# --fast restricts ctest to the `fast` label (the exhaustive-optimality
-# and end-to-end suites are labelled `slow`; see tests/CMakeLists.txt).
-# Run from the repository root. Exits non-zero on the first failure.
+#   tools/verify.sh [--fast] [--skip-tsan] [--skip-asan] [--stage NAME]...
+#
+# --stage may repeat; without it every stage runs (minus the --skip-*
+# ones; --skip-asan also skips the fault stage, which needs the ASan
+# build). --fast restricts ctest to the `fast` label (the
+# exhaustive-optimality and end-to-end suites are labelled `slow`; see
+# tests/CMakeLists.txt). Run from the repository root. Exits non-zero on
+# the first failure.
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
 SKIP_TSAN=0
 SKIP_ASAN=0
+STAGES=()
 CTEST_ARGS=()
-for arg in "$@"; do
-  case "$arg" in
+while [[ $# -gt 0 ]]; do
+  case "$1" in
     --fast) CTEST_ARGS=(-L fast) ;;
     --skip-tsan) SKIP_TSAN=1 ;;
     --skip-asan) SKIP_ASAN=1 ;;
-    *) echo "usage: tools/verify.sh [--fast] [--skip-tsan] [--skip-asan]" >&2
+    --stage)
+      [[ $# -ge 2 ]] || { echo "--stage needs a name" >&2; exit 64; }
+      STAGES+=("$2")
+      shift ;;
+    *) echo "usage: tools/verify.sh [--fast] [--skip-tsan] [--skip-asan]" \
+            "[--stage tier1|examples|tsan|asan|fault]..." >&2
        exit 64 ;;
   esac
+  shift
 done
 
-echo "== tier-1: build + ctest =="
-cmake -B build -S . > /dev/null
-cmake --build build -j"$(nproc)"
-(cd build && ctest --output-on-failure -j"$(nproc)" "${CTEST_ARGS[@]}")
+if [[ ${#STAGES[@]} -eq 0 ]]; then
+  STAGES=(tier1 examples)
+  [[ "$SKIP_TSAN" == 1 ]] || STAGES+=(tsan)
+  [[ "$SKIP_ASAN" == 1 ]] || STAGES+=(asan fault)
+fi
 
-echo "== oracle: verified fallback retime over the examples =="
-# Every bundled circuit must come back oracle-verified through the
-# graceful-degradation pipeline: exit 0 (converged) and 75 (degraded but
-# verified) are fine, anything else — in particular 76, verification
-# failure — fails the script. Journals land in build/journals/.
-mkdir -p build/journals
-for circuit in examples/circuits/*.bench examples/circuits/*.blif; do
-  [[ -e "$circuit" ]] || continue
-  stem="$(basename "${circuit%.*}")"
-  status=0
-  ./build/tools/serelin_cli retime "$circuit" "build/journals/$stem.out.${circuit##*.}" \
-      --fallback --verify --deadline 60 \
-      --journal "build/journals/$stem.jsonl" > /dev/null || status=$?
-  if [[ "$status" != 0 && "$status" != 75 ]]; then
-    echo "verify: $circuit failed the oracle pipeline (exit $status)" >&2
-    exit 1
-  fi
-  echo "  $stem: ok (exit $status)"
-done
+stage_tier1() {
+  echo "== tier1: build + ctest =="
+  cmake -B build -S . > /dev/null
+  cmake --build build -j"$(nproc)"
+  (cd build && ctest --output-on-failure -j"$(nproc)" "${CTEST_ARGS[@]}")
+}
 
-if [[ "$SKIP_TSAN" == 1 ]]; then
-  echo "== tsan: skipped =="
-else
-  echo "== tsan: parallel suite under ThreadSanitizer =="
+stage_examples() {
+  echo "== examples: verified fallback retime over the bundled circuits =="
+  # Every bundled circuit must come back oracle-verified through the
+  # graceful-degradation pipeline: exit 0 (converged) and 75 (degraded but
+  # verified) are fine, anything else — in particular 76, verification
+  # failure — fails the script. Journals land in build/journals/.
+  cmake -B build -S . > /dev/null
+  cmake --build build -j"$(nproc)" --target serelin_cli
+  mkdir -p build/journals
+  for circuit in examples/circuits/*.bench examples/circuits/*.blif; do
+    [[ -e "$circuit" ]] || continue
+    stem="$(basename "${circuit%.*}")"
+    status=0
+    ./build/tools/serelin_cli retime "$circuit" \
+        "build/journals/$stem.out.${circuit##*.}" \
+        --fallback --verify --deadline 60 \
+        --journal "build/journals/$stem.jsonl" > /dev/null || status=$?
+    if [[ "$status" != 0 && "$status" != 75 ]]; then
+      echo "verify: $circuit failed the oracle pipeline (exit $status)" >&2
+      exit 1
+    fi
+    echo "  $stem: ok (exit $status)"
+  done
+}
+
+stage_tsan() {
+  echo "== tsan: parallel + tracer suites under ThreadSanitizer =="
   cmake -B build-tsan -S . -DSERELIN_TSAN=ON > /dev/null
   cmake --build build-tsan -j"$(nproc)" --target serelin_tests
   # TSAN aborts with a non-zero exit on any data race (halt_on_error not
   # needed: the default exit code 66 on detected races fails the script).
   TSAN_OPTIONS="exitcode=66" \
-    ./build-tsan/tests/serelin_tests --gtest_filter='Parallel*'
-fi
+    ./build-tsan/tests/serelin_tests --gtest_filter='Parallel*:Trace*:Metrics*'
+}
 
-if [[ "$SKIP_ASAN" == 1 ]]; then
-  echo "== asan: skipped =="
-else
-  echo "== asan: full suite + fault-injection smoke under ASan+UBSan =="
+stage_asan() {
+  echo "== asan: full suite under ASan+UBSan =="
   cmake -B build-asan -S . -DSERELIN_ASAN=ON > /dev/null
   cmake --build build-asan -j"$(nproc)"
-  (cd build-asan && ctest --output-on-failure -j"$(nproc)")
+  (cd build-asan && ctest --output-on-failure -j"$(nproc)" "${CTEST_ARGS[@]}")
+}
+
+stage_fault() {
+  echo "== fault: fault-injection smoke + corpus replay under ASan+UBSan =="
+  cmake -B build-asan -S . -DSERELIN_ASAN=ON > /dev/null
+  cmake --build build-asan -j"$(nproc)" --target fault_harness
   # Seeded fuzz loop through parse -> validate -> deadline-bounded retime
   # -> independent result oracle (docs/ROBUSTNESS.md).
   # -fno-sanitize-recover=all means any UB aborts, so a clean exit
@@ -78,5 +106,18 @@ else
   # that do fail are persisted under tests/corpus/found/ for replay.
   ./build-asan/tools/fault_harness --verify --seed 1 --iters 2000 \
       --max-seconds 30
-fi
-echo "verify: OK"
+  # Re-run every previously-found counterexample (empty directory = no-op).
+  ./build-asan/tools/fault_harness --verify --replay tests/corpus/found/
+}
+
+for stage in "${STAGES[@]}"; do
+  case "$stage" in
+    tier1) stage_tier1 ;;
+    examples) stage_examples ;;
+    tsan) stage_tsan ;;
+    asan) stage_asan ;;
+    fault) stage_fault ;;
+    *) echo "verify: unknown stage '$stage'" >&2; exit 64 ;;
+  esac
+done
+echo "verify: OK (${STAGES[*]})"
