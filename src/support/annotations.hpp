@@ -1,0 +1,66 @@
+// Clang thread-safety analysis annotations.
+//
+// serelin's parallel substrate promises bit-deterministic results for any
+// thread count (docs/PARALLELISM.md). Part of that contract is lock
+// discipline in the few places that *do* share mutable state — the thread
+// pool handshake, the tracer/metrics registries — and lock discipline is
+// exactly what clang's `-Wthread-safety` analysis proves at compile time:
+// every access to a `SERELIN_GUARDED_BY(mu)` member must happen while `mu`
+// is held, every `SERELIN_REQUIRES(mu)` function must be called with `mu`
+// held, and lock/unlock pairing is checked on all paths.
+//
+// The macros expand to clang's capability attributes under clang and to
+// nothing elsewhere, so gcc builds are unaffected. The analysis runs as an
+// *error* in the clang CI lane (`serelin_warnings` adds
+// `-Werror=thread-safety`; see the `static` job in .github/workflows/ci.yml
+// and docs/STATIC_ANALYSIS.md).
+//
+// std::mutex is not an annotated capability type in libstdc++, so code
+// that wants the analysis uses the annotated wrappers in
+// support/sync.hpp (serelin::Mutex / MutexLock / CondVar) instead.
+#pragma once
+
+#if defined(__clang__)
+#define SERELIN_THREAD_ANNOTATION(x) __attribute__((x))
+#else
+#define SERELIN_THREAD_ANNOTATION(x)  // no-op on gcc and others
+#endif
+
+/// Marks a type as a lockable capability (e.g. a mutex wrapper).
+#define SERELIN_CAPABILITY(name) \
+  SERELIN_THREAD_ANNOTATION(capability(name))
+
+/// Marks an RAII type whose constructor acquires and destructor releases.
+#define SERELIN_SCOPED_CAPABILITY \
+  SERELIN_THREAD_ANNOTATION(scoped_lockable)
+
+/// Data member readable/writable only while `x` is held.
+#define SERELIN_GUARDED_BY(x) SERELIN_THREAD_ANNOTATION(guarded_by(x))
+
+/// Pointer member whose *pointee* is guarded by `x`.
+#define SERELIN_PT_GUARDED_BY(x) SERELIN_THREAD_ANNOTATION(pt_guarded_by(x))
+
+/// Function callable only while the listed capabilities are held.
+#define SERELIN_REQUIRES(...) \
+  SERELIN_THREAD_ANNOTATION(requires_capability(__VA_ARGS__))
+
+/// Function that acquires the listed capabilities (held on return).
+#define SERELIN_ACQUIRE(...) \
+  SERELIN_THREAD_ANNOTATION(acquire_capability(__VA_ARGS__))
+
+/// Function that releases the listed capabilities.
+#define SERELIN_RELEASE(...) \
+  SERELIN_THREAD_ANNOTATION(release_capability(__VA_ARGS__))
+
+/// Function that acquires on a given return value (try_lock style).
+#define SERELIN_TRY_ACQUIRE(...) \
+  SERELIN_THREAD_ANNOTATION(try_acquire_capability(__VA_ARGS__))
+
+/// Function that must NOT be called while the listed capabilities are held.
+#define SERELIN_EXCLUDES(...) \
+  SERELIN_THREAD_ANNOTATION(locks_excluded(__VA_ARGS__))
+
+/// Escape hatch: disables the analysis for one function. Every use needs a
+/// justification comment (enforced by review, not tooling).
+#define SERELIN_NO_THREAD_SAFETY_ANALYSIS \
+  SERELIN_THREAD_ANNOTATION(no_thread_safety_analysis)

@@ -1,10 +1,11 @@
 #include "support/metrics.hpp"
 
 #include <fstream>
-#include <mutex>
 #include <vector>
 
+#include "support/annotations.hpp"
 #include "support/check.hpp"
+#include "support/sync.hpp"
 
 namespace serelin {
 
@@ -69,8 +70,11 @@ struct CounterBlock {
 };
 
 struct Registry {
-  std::mutex mutex;
-  std::vector<CounterBlock*> blocks;  // registration order; never shrinks
+  Mutex mutex;
+  /// Registration order; never shrinks. The *vector* is guarded; each
+  /// block has a single writer (its thread) and is only read/zeroed by
+  /// snapshot/reset outside parallel regions (header contract).
+  std::vector<CounterBlock*> blocks SERELIN_GUARDED_BY(mutex);
 };
 
 Registry& registry() {
@@ -81,7 +85,7 @@ Registry& registry() {
 CounterBlock* register_block() {
   auto* block = new CounterBlock();
   Registry& r = registry();
-  const std::lock_guard<std::mutex> lock(r.mutex);
+  const MutexLock lock(r.mutex);
   r.blocks.push_back(block);
   return block;
 }
@@ -100,7 +104,7 @@ std::int64_t* metric_lane() {
 MetricsSnapshot metrics_snapshot() {
   MetricsSnapshot out;
   Registry& r = registry();
-  const std::lock_guard<std::mutex> lock(r.mutex);
+  const MutexLock lock(r.mutex);
   for (const CounterBlock* block : r.blocks)
     for (std::size_t i = 0; i < kCounterCount; ++i)
       out.values[i] += block->values[i];
@@ -109,7 +113,7 @@ MetricsSnapshot metrics_snapshot() {
 
 void metrics_reset() {
   Registry& r = registry();
-  const std::lock_guard<std::mutex> lock(r.mutex);
+  const MutexLock lock(r.mutex);
   for (CounterBlock* block : r.blocks)
     for (std::size_t i = 0; i < kCounterCount; ++i) block->values[i] = 0;
 }

@@ -51,7 +51,7 @@ ThreadPool::ThreadPool(int workers) {
 
 ThreadPool::~ThreadPool() {
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     stop_ = true;
   }
   start_cv_.notify_all();
@@ -64,15 +64,15 @@ void ThreadPool::run(const std::function<void(int)>& body) {
     return;
   }
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     body_ = &body;
     pending_ = static_cast<int>(threads_.size());
     ++generation_;
   }
   start_cv_.notify_all();
   body(0);  // the caller is lane 0
-  std::unique_lock<std::mutex> lock(mutex_);
-  done_cv_.wait(lock, [this] { return pending_ == 0; });
+  MutexLock lock(mutex_);
+  while (pending_ != 0) done_cv_.wait(mutex_);
   body_ = nullptr;
 }
 
@@ -81,16 +81,15 @@ void ThreadPool::worker_loop(int lane) {
   for (;;) {
     const std::function<void(int)>* body = nullptr;
     {
-      std::unique_lock<std::mutex> lock(mutex_);
-      start_cv_.wait(lock,
-                     [&] { return stop_ || generation_ != seen; });
+      MutexLock lock(mutex_);
+      while (!stop_ && generation_ == seen) start_cv_.wait(mutex_);
       if (stop_) return;
       seen = generation_;
       body = body_;
     }
     (*body)(lane);
     {
-      std::lock_guard<std::mutex> lock(mutex_);
+      MutexLock lock(mutex_);
       if (--pending_ == 0) done_cv_.notify_one();
     }
   }
@@ -105,10 +104,10 @@ namespace {
 /// Lazily grown process-wide pool. Guarded by a mutex: serelin's parallel
 /// regions are issued from one orchestrating thread at a time, but two
 /// independent callers must not interleave lane dispatch on one pool.
-std::mutex g_pool_mutex;
-std::unique_ptr<ThreadPool> g_pool;
+Mutex g_pool_mutex;
+std::unique_ptr<ThreadPool> g_pool SERELIN_GUARDED_BY(g_pool_mutex);
 
-ThreadPool& shared_pool(int workers) {
+ThreadPool& shared_pool(int workers) SERELIN_REQUIRES(g_pool_mutex) {
   if (!g_pool || g_pool->workers() < workers)
     g_pool = std::make_unique<ThreadPool>(workers);
   return *g_pool;
@@ -142,24 +141,25 @@ void parallel_for_impl(
     return;
   }
 
-  std::unique_lock<std::mutex> pool_lock(g_pool_mutex);
-  ThreadPool& pool = shared_pool(workers);
   std::exception_ptr first_error;
-  std::mutex error_mutex;
+  Mutex error_mutex;
   const int lanes = static_cast<int>(
       std::min<std::size_t>(static_cast<std::size_t>(workers), nchunks));
-  pool.run([&](int lane) {
-    if (lane >= lanes) return;
-    tl_in_region = true;
-    try {
-      run_chunks(static_cast<std::size_t>(lane), lanes, lane);
-    } catch (...) {
-      std::lock_guard<std::mutex> lock(error_mutex);
-      if (!first_error) first_error = std::current_exception();
-    }
-    tl_in_region = false;
-  });
-  pool_lock.unlock();
+  {
+    MutexLock pool_lock(g_pool_mutex);
+    ThreadPool& pool = shared_pool(workers);
+    pool.run([&](int lane) {
+      if (lane >= lanes) return;
+      tl_in_region = true;
+      try {
+        run_chunks(static_cast<std::size_t>(lane), lanes, lane);
+      } catch (...) {
+        MutexLock lock(error_mutex);
+        if (!first_error) first_error = std::current_exception();
+      }
+      tl_in_region = false;
+    });
+  }
   if (first_error) std::rethrow_exception(first_error);
 }
 

@@ -23,15 +23,15 @@
 // per-worker scratch indexed by the lane id stays race-free.
 #pragma once
 
-#include <condition_variable>
 #include <cstdint>
 #include <functional>
-#include <mutex>
 #include <thread>
 #include <vector>
 
+#include "support/annotations.hpp"
 #include "support/deadline.hpp"
 #include "support/rng.hpp"
+#include "support/sync.hpp"
 
 namespace serelin {
 
@@ -83,13 +83,16 @@ class ThreadPool {
   void worker_loop(int lane);
 
   std::vector<std::thread> threads_;
-  std::mutex mutex_;
-  std::condition_variable start_cv_;
-  std::condition_variable done_cv_;
-  const std::function<void(int)>* body_ = nullptr;
-  std::uint64_t generation_ = 0;
-  int pending_ = 0;
-  bool stop_ = false;
+  // The dispatch handshake. Everything the workers and the caller share is
+  // guarded by mutex_; clang's -Wthread-safety proves it (see
+  // support/annotations.hpp and docs/STATIC_ANALYSIS.md).
+  Mutex mutex_;
+  CondVar start_cv_;
+  CondVar done_cv_;
+  const std::function<void(int)>* body_ SERELIN_GUARDED_BY(mutex_) = nullptr;
+  std::uint64_t generation_ SERELIN_GUARDED_BY(mutex_) = 0;
+  int pending_ SERELIN_GUARDED_BY(mutex_) = 0;
+  bool stop_ SERELIN_GUARDED_BY(mutex_) = false;
 };
 
 namespace detail {

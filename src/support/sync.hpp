@@ -1,0 +1,88 @@
+// Annotated synchronization primitives for clang thread-safety analysis.
+//
+// libstdc++'s std::mutex carries no capability annotations, so
+// `-Wthread-safety` cannot reason about code that uses it directly. These
+// thin wrappers restore the analysis: `Mutex` is an annotated capability,
+// `MutexLock` the scoped acquire/release, and `CondVar` a condition
+// variable whose wait() is checked to run with the mutex held. All three
+// are zero-overhead veneers over the std primitives (CondVar::wait adopts
+// the already-held std::mutex for the duration of the std wait).
+//
+// Usage pattern (see support/parallel.cpp for the real thing):
+//
+//   Mutex mutex_;
+//   int pending_ SERELIN_GUARDED_BY(mutex_) = 0;
+//   CondVar done_cv_;
+//   ...
+//   MutexLock lock(mutex_);
+//   while (pending_ != 0) done_cv_.wait(mutex_);
+//
+// Spurious wakeups are possible (std::condition_variable semantics), so
+// waits must always sit in a predicate loop as above.
+#pragma once
+
+#include <condition_variable>
+#include <mutex>
+
+#include "support/annotations.hpp"
+
+namespace serelin {
+
+/// An annotated std::mutex: clang's thread-safety analysis tracks it as a
+/// capability, so members declared SERELIN_GUARDED_BY(a Mutex) are
+/// compile-time checked to be accessed only under the lock.
+class SERELIN_CAPABILITY("mutex") Mutex {
+ public:
+  Mutex() = default;
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void lock() SERELIN_ACQUIRE() { m_.lock(); }
+  void unlock() SERELIN_RELEASE() { m_.unlock(); }
+  bool try_lock() SERELIN_TRY_ACQUIRE(true) { return m_.try_lock(); }
+
+ private:
+  friend class CondVar;  // wait() adopts the underlying std::mutex
+  std::mutex m_;
+};
+
+/// RAII lock for Mutex; the analysis knows the capability is held between
+/// construction and destruction.
+class SERELIN_SCOPED_CAPABILITY MutexLock {
+ public:
+  explicit MutexLock(Mutex& mutex) SERELIN_ACQUIRE(mutex) : mutex_(mutex) {
+    mutex_.lock();
+  }
+  ~MutexLock() SERELIN_RELEASE() { mutex_.unlock(); }
+
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+
+ private:
+  Mutex& mutex_;
+};
+
+/// Condition variable paired with Mutex. wait() must be called with the
+/// mutex held (checked); it atomically releases for the std wait and
+/// reacquires before returning, like std::condition_variable::wait.
+class CondVar {
+ public:
+  CondVar() = default;
+  CondVar(const CondVar&) = delete;
+  CondVar& operator=(const CondVar&) = delete;
+
+  /// One blocking wait; callers loop on their predicate around this.
+  void wait(Mutex& mutex) SERELIN_REQUIRES(mutex) {
+    std::unique_lock<std::mutex> relock(mutex.m_, std::adopt_lock);
+    cv_.wait(relock);
+    relock.release();  // ownership stays with the caller's MutexLock
+  }
+
+  void notify_one() { cv_.notify_one(); }
+  void notify_all() { cv_.notify_all(); }
+
+ private:
+  std::condition_variable cv_;
+};
+
+}  // namespace serelin

@@ -8,8 +8,10 @@
 
 #include <atomic>
 #include <chrono>
-#include <mutex>
 #include <vector>
+
+#include "support/annotations.hpp"
+#include "support/sync.hpp"
 
 namespace serelin {
 
@@ -32,9 +34,16 @@ struct EventBuffer {
 };
 
 struct Registry {
-  std::mutex mutex;
-  std::vector<EventBuffer*> buffers;  // registration (tid) order
-  std::chrono::steady_clock::time_point t0;
+  Mutex mutex;
+  /// Registration (tid) order. The *vector* is guarded; the pointed-to
+  /// buffers are single-writer (each thread appends only to its own) and
+  /// only read at start/export time, outside parallel regions, when the
+  /// lanes have joined and the buffers are quiescent.
+  std::vector<EventBuffer*> buffers SERELIN_GUARDED_BY(mutex);
+  /// Session origin as nanoseconds since the steady_clock epoch. Atomic,
+  /// not guarded: now_ns() reads it on the span hot path where taking the
+  /// registry lock would serialize all tracing threads.
+  std::atomic<std::int64_t> t0_ns{0};
 };
 
 Registry& registry() {
@@ -47,7 +56,7 @@ std::atomic<bool> g_active{false};
 EventBuffer* register_buffer() {
   auto* buffer = new EventBuffer();
   Registry& r = registry();
-  const std::lock_guard<std::mutex> lock(r.mutex);
+  const MutexLock lock(r.mutex);
   buffer->tid = static_cast<int>(r.buffers.size());
   r.buffers.push_back(buffer);
   return buffer;
@@ -59,10 +68,12 @@ EventBuffer& local_buffer() {
 }
 
 std::uint64_t now_ns() {
-  return static_cast<std::uint64_t>(
+  const std::int64_t now =
       std::chrono::duration_cast<std::chrono::nanoseconds>(
-          std::chrono::steady_clock::now() - registry().t0)
-          .count());
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count();
+  return static_cast<std::uint64_t>(
+      now - registry().t0_ns.load(std::memory_order_relaxed));
 }
 
 /// Span names are string literals under our control, but escape anyway so
@@ -103,12 +114,15 @@ bool Tracer::active() { return g_active.load(std::memory_order_relaxed); }
 
 void Tracer::start() {
   Registry& r = registry();
-  const std::lock_guard<std::mutex> lock(r.mutex);
+  const MutexLock lock(r.mutex);
   for (EventBuffer* buffer : r.buffers) {
     buffer->events.clear();
     buffer->depth = 0;
   }
-  r.t0 = std::chrono::steady_clock::now();
+  r.t0_ns.store(std::chrono::duration_cast<std::chrono::nanoseconds>(
+                    std::chrono::steady_clock::now().time_since_epoch())
+                    .count(),
+                std::memory_order_relaxed);
   g_active.store(true, std::memory_order_relaxed);
 }
 
@@ -116,7 +130,7 @@ void Tracer::stop() { g_active.store(false, std::memory_order_relaxed); }
 
 std::size_t Tracer::event_count() {
   Registry& r = registry();
-  const std::lock_guard<std::mutex> lock(r.mutex);
+  const MutexLock lock(r.mutex);
   std::size_t n = 0;
   for (const EventBuffer* buffer : r.buffers) n += buffer->events.size();
   return n;
@@ -124,7 +138,7 @@ std::size_t Tracer::event_count() {
 
 std::string Tracer::chrome_json() {
   Registry& r = registry();
-  const std::lock_guard<std::mutex> lock(r.mutex);
+  const MutexLock lock(r.mutex);
   std::string out = "{\"traceEvents\": [";
   bool first = true;
   for (const EventBuffer* buffer : r.buffers) {

@@ -1,0 +1,13 @@
+// Fixture: both codes are named, but `beta` is missing from the docs.
+#pragma once
+
+namespace serelin {
+
+enum class DiagCode : int {
+  kAlpha,  ///< first
+  kBeta,   ///< second
+};
+
+const char* diag_code_name(DiagCode code);
+
+}  // namespace serelin

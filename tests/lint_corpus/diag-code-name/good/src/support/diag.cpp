@@ -1,0 +1,13 @@
+#include "support/diag.hpp"
+
+namespace serelin {
+
+const char* diag_code_name(DiagCode code) {
+  switch (code) {
+    case DiagCode::kAlpha: return "alpha";
+    case DiagCode::kBeta: return "beta";
+  }
+  return "unknown";
+}
+
+}  // namespace serelin

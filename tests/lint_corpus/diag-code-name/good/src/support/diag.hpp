@@ -1,0 +1,13 @@
+// Fixture: every enumerator has a diag_code_name entry in diag.cpp.
+#pragma once
+
+namespace serelin {
+
+enum class DiagCode : int {
+  kAlpha,  ///< first
+  kBeta,   ///< second
+};
+
+const char* diag_code_name(DiagCode code);
+
+}  // namespace serelin

@@ -1,0 +1,10 @@
+// Fixture: exits with a code the registry table does not document.
+#include <cstdlib>
+
+int run(int argc) {
+  if (argc < 2) return 64;
+  if (argc > 9) {
+    return 65;  // line 7: serelin-exit-code-registry fires here
+  }
+  return 0;
+}

@@ -1,0 +1,8 @@
+// Fixture: every exit code used is documented and vice versa.
+#include <cstdlib>
+
+int run(int argc) {
+  if (argc < 2) return 64;
+  if (argc > 9) return 65;
+  return 0;
+}

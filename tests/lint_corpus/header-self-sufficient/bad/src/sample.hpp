@@ -1,0 +1,6 @@
+// Fixture: uses std::string but forgets <string> — compiles only when the
+// including TU happened to pull the header in first. Line 1 carries the
+// finding (the rule anchors whole-header problems there).
+#pragma once
+
+inline std::string greet() { return "hi"; }

@@ -1,0 +1,6 @@
+// Fixture: self-sufficient header — includes everything it names.
+#pragma once
+
+#include <string>
+
+inline std::string greet() { return "hi"; }

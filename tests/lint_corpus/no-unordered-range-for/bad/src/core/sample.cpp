@@ -1,0 +1,13 @@
+// Fixture: iterating a hash map in a reduction path — the sum is the same
+// but anything order-sensitive (tie-breaks, float accumulation) is not.
+#include <string>
+#include <unordered_map>
+
+double reduce(const std::unordered_map<std::string, double>& weights) {
+  double total = 0.0;
+  std::unordered_map<std::string, double> local = weights;
+  for (const auto& kv : local) {  // line 9: serelin-no-unordered-range-for
+    total += kv.second;
+  }
+  return total;
+}

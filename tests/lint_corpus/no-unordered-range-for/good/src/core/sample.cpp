@@ -1,0 +1,15 @@
+// Fixture: ordered iteration is fine, and unordered containers may be
+// used for O(1) lookup as long as nothing iterates them by range-for.
+#include <map>
+#include <string>
+#include <unordered_map>
+
+double reduce(const std::map<std::string, double>& weights) {
+  std::unordered_map<std::string, double> index(weights.begin(),
+                                                weights.end());
+  double total = 0.0;
+  for (const auto& kv : weights) {
+    total += kv.second + index.at(kv.first);
+  }
+  return total;
+}

@@ -1,0 +1,6 @@
+// Fixture: the classic determinism bug — an unseeded library RNG.
+#include <cstdlib>
+
+int draw() {
+  return std::rand();  // line 5: serelin-no-unseeded-random fires here
+}

@@ -1,0 +1,5 @@
+// Fixture: randomness through an explicit seeded stream is fine. Comments
+// and strings mentioning std::rand or random_device must not trip the rule.
+const char* describe() { return "not std::rand, honest"; }
+
+int draw(int seed) { return seed * 2654435761; }

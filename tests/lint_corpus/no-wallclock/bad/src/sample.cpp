@@ -1,0 +1,6 @@
+// Fixture: seeding from the wall clock makes runs irreproducible.
+#include <ctime>
+
+long stamp() {
+  return time(nullptr);  // line 5: serelin-no-wallclock fires here
+}

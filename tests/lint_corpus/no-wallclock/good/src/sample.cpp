@@ -1,0 +1,8 @@
+// Fixture: steady_clock is allowed (monotonic, used by Stopwatch and
+// Deadline); only wall-clock sources are banned. The word system_clock in
+// this comment must not trip the rule.
+#include <chrono>
+
+long ticks() {
+  return std::chrono::steady_clock::now().time_since_epoch().count();
+}

@@ -1,0 +1,10 @@
+// Fixture: NOLINT suppression — both forms must silence the finding, and
+// a NOLINT for a *different* rule must not.
+#include <cstdlib>
+
+int draws() {
+  int a = std::rand();  // NOLINT(serelin-no-unseeded-random) fixture: suppressed
+  int b = std::rand();  // NOLINT fixture: bare form suppresses everything
+  int c = std::rand();  // NOLINT(serelin-no-wallclock) line 8: wrong rule, still fires
+  return a + b + c;
+}

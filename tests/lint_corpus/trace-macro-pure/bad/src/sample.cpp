@@ -1,0 +1,8 @@
+// Fixture: a side-effecting argument vanishes under SERELIN_TRACE=OFF,
+// silently changing program behavior between build configurations.
+#define SERELIN_COUNT(counter, n) ((void)(n))
+
+int count_and_bump(int work) {
+  SERELIN_COUNT(kSolverIterations, ++work);  // line 6: serelin-trace-macro-pure
+  return work;
+}

@@ -1,0 +1,11 @@
+// Fixture: pure arguments — reads, arithmetic, comparisons, even a
+// multi-line argument — are all fine.
+#define SERELIN_COUNT(counter, n) ((void)(n))
+#define SERELIN_SPAN(name) ((void)sizeof(name))
+
+int count(int work, int scale) {
+  SERELIN_SPAN(work > 0 ? "solver/hot" : "solver/cold");
+  SERELIN_COUNT(kSolverIterations,
+                static_cast<long>(work) * (scale == 0 ? 1 : scale));
+  return work;
+}

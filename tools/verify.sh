@@ -3,13 +3,15 @@
 # in isolation while `tools/verify.sh` with no arguments still runs the
 # whole ladder locally:
 #
+#   static    serelin_lint + clang -Wthread-safety build + clang-tidy
 #   tier1     regular build + full test suite
 #   examples  oracle-verified fallback retime over every bundled circuit
 #   tsan      parallel determinism + tracer suites under ThreadSanitizer
 #   asan      full suite under ASan+UBSan
 #   fault     seeded fault-injection smoke + corpus replay under ASan+UBSan
 #
-#   tools/verify.sh [--fast] [--skip-tsan] [--skip-asan] [--stage NAME]...
+#   tools/verify.sh [--fast] [--skip-static] [--skip-tsan] [--skip-asan]
+#                   [--stage NAME]...
 #
 # --stage may repeat; without it every stage runs (minus the --skip-*
 # ones; --skip-asan also skips the fault stage, which needs the ASan
@@ -17,9 +19,17 @@
 # exhaustive-optimality and end-to-end suites are labelled `slow`; see
 # tests/CMakeLists.txt). Run from the repository root. Exits non-zero on
 # the first failure.
+#
+# The static stage (docs/STATIC_ANALYSIS.md) degrades gracefully: the
+# serelin_lint pass always runs, the -Wthread-safety build and clang-tidy
+# run only when clang++/clang-tidy are installed (CI installs both; a
+# gcc-only box still gets the project linter). Set SERELIN_TIDY_BASE to a
+# git ref to tidy only the files changed since that ref (the PR mode of
+# the `static` CI job).
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
+SKIP_STATIC=0
 SKIP_TSAN=0
 SKIP_ASAN=0
 STAGES=()
@@ -27,24 +37,70 @@ CTEST_ARGS=()
 while [[ $# -gt 0 ]]; do
   case "$1" in
     --fast) CTEST_ARGS=(-L fast) ;;
+    --skip-static) SKIP_STATIC=1 ;;
     --skip-tsan) SKIP_TSAN=1 ;;
     --skip-asan) SKIP_ASAN=1 ;;
     --stage)
       [[ $# -ge 2 ]] || { echo "--stage needs a name" >&2; exit 64; }
       STAGES+=("$2")
       shift ;;
-    *) echo "usage: tools/verify.sh [--fast] [--skip-tsan] [--skip-asan]" \
-            "[--stage tier1|examples|tsan|asan|fault]..." >&2
+    *) echo "usage: tools/verify.sh [--fast] [--skip-static] [--skip-tsan]" \
+            "[--skip-asan] [--stage static|tier1|examples|tsan|asan|fault]..." >&2
        exit 64 ;;
   esac
   shift
 done
 
 if [[ ${#STAGES[@]} -eq 0 ]]; then
-  STAGES=(tier1 examples)
+  STAGES=()
+  [[ "$SKIP_STATIC" == 1 ]] || STAGES+=(static)
+  STAGES+=(tier1 examples)
   [[ "$SKIP_TSAN" == 1 ]] || STAGES+=(tsan)
   [[ "$SKIP_ASAN" == 1 ]] || STAGES+=(asan fault)
 fi
+
+stage_static() {
+  echo "== static: serelin_lint + thread-safety + clang-tidy =="
+  cmake -B build -S . > /dev/null
+  cmake --build build -j"$(nproc)" --target serelin_lint
+  # 1/3 — the project linter: determinism + consistency contracts over the
+  # whole tree, including the header self-sufficiency compile checks.
+  ./build/tools/serelin_lint --root . --cxx "${CXX:-c++}"
+
+  # 2/3 — compile-time race checking: serelin_warnings promotes
+  # -Wthread-safety to an error under clang, so a clean clang build *is*
+  # the proof that all annotated lock discipline holds.
+  if command -v clang++ > /dev/null 2>&1; then
+    cmake -B build-clang -S . -DCMAKE_CXX_COMPILER=clang++ \
+      -DSERELIN_WERROR=ON > /dev/null
+    cmake --build build-clang -j"$(nproc)"
+  else
+    echo "static: clang++ not installed; skipping the -Wthread-safety build" >&2
+  fi
+
+  # 3/3 — clang-tidy over the compile database (.clang-tidy pins the
+  # profile; WarningsAsErrors makes any finding fatal). SERELIN_TIDY_BASE
+  # narrows the file set to a PR's changed files.
+  if command -v clang-tidy > /dev/null 2>&1; then
+    local db=build
+    [[ -f build-clang/compile_commands.json ]] && db=build-clang
+    local files
+    if [[ -n "${SERELIN_TIDY_BASE:-}" ]]; then
+      files=$(git diff --name-only "$SERELIN_TIDY_BASE" -- \
+                'src/*.cpp' 'tools/*.cpp' | while read -r f; do
+                [[ -f "$f" ]] && echo "$f"; done)
+    else
+      files=$(ls src/*/*.cpp tools/*.cpp)
+    fi
+    if [[ -z "$files" ]]; then
+      echo "static: no files to tidy"
+    else
+      echo "$files" | xargs -P "$(nproc)" -n 4 clang-tidy -p "$db" --quiet
+    fi
+  else
+    echo "static: clang-tidy not installed; skipping" >&2
+  fi
+}
 
 stage_tier1() {
   echo "== tier1: build + ctest =="
@@ -112,6 +168,7 @@ stage_fault() {
 
 for stage in "${STAGES[@]}"; do
   case "$stage" in
+    static) stage_static ;;
     tier1) stage_tier1 ;;
     examples) stage_examples ;;
     tsan) stage_tsan ;;
