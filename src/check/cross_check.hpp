@@ -1,0 +1,46 @@
+// Cross-checks between the incremental / lazy fast paths and their
+// from-scratch ground truths. The solvers run on GraphTiming::update()
+// cones and the LazyWdQuery's pruned constraint sweeps; both carry
+// bit-identity proofs (docs/SPARSE_WD.md), and these helpers are the
+// executable form of those proofs — independent recomputation through the
+// eager code paths, compared field by field. They back the oracle-style
+// validation suites (tests/test_check.cpp) and are available to any tool
+// that wants a paranoid mode; like the RetimingOracle they report rather
+// than throw.
+#pragma once
+
+#include <string>
+
+#include "core/wd_query.hpp"
+#include "rgraph/retiming_graph.hpp"
+#include "timing/graph_timing.hpp"
+
+namespace serelin {
+
+/// Outcome of one cross-check: ok, plus a human-readable account of the
+/// first divergence when not.
+struct CrossCheckResult {
+  bool ok = true;
+  std::string detail;
+};
+
+/// Verifies that `incremental` (a GraphTiming that has been advanced to
+/// retiming `r` through update() calls) holds labels bit-identical to a
+/// fresh GraphTiming::compute(r) with the same parameters. Requires
+/// g.valid(r). Every label the constraint checker reads is compared:
+/// arrival, max_after, min_after, lt, rt and crit_min_edge, with exact
+/// (bitwise) double equality — the incremental contract is identity, not
+/// approximation.
+CrossCheckResult cross_check_incremental_timing(const RetimingGraph& g,
+                                                const GraphTiming& incremental,
+                                                const Retiming& r);
+
+/// Verifies that `wd` (any engine, typically lazy) agrees with a freshly
+/// built dense reference: point queries on `samples` evenly-strided source
+/// rows, and bit-identical wd_query_retime_for_period results at each
+/// probe period (the pruning-dominance invariant, end to end). Dense
+/// reference construction is Θ(|V|²) — size the circuit accordingly.
+CrossCheckResult cross_check_wd_engine(const RetimingGraph& g, WdQuery& wd,
+                                       std::size_t samples = 16);
+
+}  // namespace serelin

@@ -52,7 +52,12 @@ class BundleGrower {
       if (deadline_.expired()) return Status::kStopped;
       Retiming cand = r;
       for (VertexId v : members_) cand[v] -= delta_[v];
-      timing_.compute(cand);
+      // Incremental relabel against whatever state the labels last
+      // described (bit-identical to compute(cand) on valid candidates; on
+      // a P0-invalid candidate the labels stay put and find_violation
+      // reports the P0 violation from its full edge scan, which never
+      // reads path labels).
+      timing_.update(cand);
       const auto viol = checker_.find_violation(cand, timing_, movers_);
       if (!viol) {
         std::int64_t gain = 0;

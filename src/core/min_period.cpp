@@ -26,7 +26,10 @@ std::optional<Retiming> MinPeriodRetimer::retime_for_period(
     // An interrupted probe reports "not feasible for phi" — conservative
     // and safe; minimize() notices the expiry itself and stops cleanly.
     if (opt_.deadline.expired()) return std::nullopt;
-    timing.compute(r);
+    // First pass computes from scratch; later passes relabel only the
+    // cones around the vertices incremented last pass (r stays valid
+    // throughout thanks to the demotion closure below).
+    timing.update(r);
     bool violated = false;
     // Candidate moves: violated movable vertices.
     for (VertexId v = 0; v < g_->vertex_count(); ++v) {

@@ -64,11 +64,13 @@ int MinObsWinSolver::run_pass(const ConstraintChecker& checker,
       out.r[v] -= forest.weight(v);
       movers[v] = 1;
     }
-    timing.compute(out.r);
-    // A batch of violations per timing pass: each tentative move typically
-    // breaks many constraints, and a full recomputation per constraint
-    // would dominate the run time on large graphs.
-    const auto viols = checker.find_violations(out.r, timing, movers, batch);
+    // Incremental relabel: only the cones around the moved vertices are
+    // touched, and the returned delta narrows the violation scan to the
+    // dirty edges/vertices — bit-identical to a full recompute + full scan
+    // (see TimingDelta), but O(cone) instead of O(|V|+|E|) per iteration.
+    const TimingDelta& delta = timing.update(out.r, candidate);
+    const auto viols =
+        checker.find_violations(out.r, timing, delta, movers, batch);
 
     if (viols.empty()) {
       // Feasible: commit. The positive set has positive weighted gain by
@@ -93,6 +95,11 @@ int MinObsWinSolver::run_pass(const ConstraintChecker& checker,
       out.r[v] += forest.weight(v);
       movers[v] = 0;
     }
+    // Roll the labels back to the (feasible) pre-move state, so the next
+    // iteration's delta is measured against a violation-free baseline —
+    // the invariant the dirty-set scan above relies on. After a p0_dirty
+    // step the labels never moved and this is a cheap no-op diff.
+    timing.update(out.r, candidate);
     for (std::size_t i = 0; i < viols.size(); ++i) {
       const Violation& viol = viols[i];
       if (i > 0 && !forest.in_positive_tree(viol.p)) continue;  // stale

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <queue>
 
+#include "core/wd_query.hpp"
 #include "support/check.hpp"
 #include "support/metrics.hpp"
 #include "support/parallel.hpp"
@@ -128,16 +129,6 @@ std::vector<double> WdMatrices::candidate_periods() const {
   return out;
 }
 
-namespace {
-
-struct ConstraintEdge {
-  VertexId from;  // constraint r(to) − r(from) ≤ cost maps to from → to
-  VertexId to;
-  std::int64_t cost;
-};
-
-}  // namespace
-
 std::optional<Retiming> wd_retime_for_period(const RetimingGraph& g,
                                              const WdMatrices& wd,
                                              double phi, double setup) {
@@ -145,57 +136,18 @@ std::optional<Retiming> wd_retime_for_period(const RetimingGraph& g,
   SERELIN_REQUIRE(wd.size() == n, "W/D matrices do not match the graph");
   const double budget = phi - setup;
 
-  // Difference constraints r(u) − r(v) ≤ c become edges v → u of weight c
-  // in the shortest-path encoding. Bellman–Ford starts from all-zero
-  // distances (an implicit super-source, which cannot lie on a cycle), so
-  // no blanket root→v edges are needed — they would wrongly cap every
-  // label at the root's, excluding the positive labels backward moves
-  // need. A virtual root (index n) only *pins* the boundary labels
-  // together; the final labels are normalized against it.
-  std::vector<ConstraintEdge> edges;
-  edges.reserve(g.edge_count() + 4 * n);
-  const VertexId root = static_cast<VertexId>(n);
-  for (VertexId v = 0; v < n; ++v) {
-    if (!g.movable(v)) {
-      edges.push_back({root, v, 0});
-      edges.push_back({v, root, 0});
-    }
-  }
-  for (EdgeId eid = 0; eid < g.edge_count(); ++eid) {
-    const REdge& e = g.edge(eid);
-    edges.push_back({e.to, e.from, e.w});  // P0: r(u) − r(v) ≤ w(e)
-  }
+  // P1 pair constraints r(u) − r(v) ≤ W(u,v) − 1 for every reachable pair
+  // whose register-minimal delay exceeds the budget; P0 and root pinning
+  // are derived from the graph inside the shared solver.
+  std::vector<WdConstraint> extra;
   for (VertexId u = 0; u < n; ++u) {
     for (VertexId v = 0; v < n; ++v) {
       if (wd.w(u, v) == WdMatrices::kUnreachable) continue;
       if (wd.d(u, v) <= budget + 1e-9) continue;
-      edges.push_back({v, u, wd.w(u, v) - 1});  // P1 pair constraint
+      extra.push_back({v, u, wd.w(u, v) - 1});
     }
   }
-
-  // Bellman–Ford; a negative cycle means the period is infeasible. Each
-  // successful relaxation is one pivot of the difference-constraint LP.
-  std::vector<std::int64_t> dist(n + 1, 0);
-  std::int64_t relaxations = 0;
-  bool changed = true;
-  for (std::size_t round = 0; round <= n + 1 && changed; ++round) {
-    changed = false;
-    for (const ConstraintEdge& e : edges) {
-      if (dist[e.from] + e.cost < dist[e.to]) {
-        dist[e.to] = dist[e.from] + e.cost;
-        ++relaxations;
-        changed = true;
-      }
-    }
-  }
-  SERELIN_COUNT(kLpRelaxations, relaxations);
-  if (changed) return std::nullopt;  // still relaxing: negative cycle
-
-  Retiming r(n, 0);
-  for (VertexId v = 0; v < n; ++v)
-    r[v] = static_cast<std::int32_t>(dist[v] - dist[root]);
-  SERELIN_ASSERT(g.valid(r), "W/D feasibility produced an invalid retiming");
-  return r;
+  return wd_solve_constraints(g, extra);
 }
 
 WdMinPeriodResult wd_min_period(const RetimingGraph& g, const WdMatrices& wd,

@@ -1,0 +1,457 @@
+#include "core/wd_query.hpp"
+
+#include <algorithm>
+#include <queue>
+
+#include "core/min_period.hpp"
+#include "core/wd_matrices.hpp"
+#include "support/check.hpp"
+#include "support/metrics.hpp"
+#include "support/trace.hpp"
+#include "timing/graph_timing.hpp"
+
+namespace serelin {
+
+std::optional<Retiming> wd_solve_constraints(
+    const RetimingGraph& g, const std::vector<WdConstraint>& extra) {
+  const std::size_t n = g.vertex_count();
+
+  // Difference constraints r(u) − r(v) ≤ c become edges v → u of weight c
+  // in the shortest-path encoding. Bellman–Ford starts from all-zero
+  // distances (an implicit super-source, which cannot lie on a cycle), so
+  // no blanket root→v edges are needed — they would wrongly cap every
+  // label at the root's, excluding the positive labels backward moves
+  // need. A virtual root (index n) only *pins* the boundary labels
+  // together; the final labels are normalized against it.
+  std::vector<WdConstraint> edges;
+  edges.reserve(g.edge_count() + 2 * n + extra.size());
+  const VertexId root = static_cast<VertexId>(n);
+  for (VertexId v = 0; v < n; ++v) {
+    if (!g.movable(v)) {
+      edges.push_back({root, v, 0});
+      edges.push_back({v, root, 0});
+    }
+  }
+  for (EdgeId eid = 0; eid < g.edge_count(); ++eid) {
+    const REdge& e = g.edge(eid);
+    edges.push_back({e.to, e.from, e.w});  // P0: r(u) − r(v) ≤ w(e)
+  }
+  edges.insert(edges.end(), extra.begin(), extra.end());
+
+  // Bellman–Ford; a negative cycle means the period is infeasible. Each
+  // successful relaxation is one pivot of the difference-constraint LP.
+  std::vector<std::int64_t> dist(n + 1, 0);
+  std::int64_t relaxations = 0;
+  bool changed = true;
+  for (std::size_t round = 0; round <= n + 1 && changed; ++round) {
+    changed = false;
+    for (const WdConstraint& e : edges) {
+      if (dist[e.from] + e.cost < dist[e.to]) {
+        dist[e.to] = dist[e.from] + e.cost;
+        ++relaxations;
+        changed = true;
+      }
+    }
+  }
+  SERELIN_COUNT(kLpRelaxations, relaxations);
+  if (changed) return std::nullopt;  // still relaxing: negative cycle
+
+  Retiming r(n, 0);
+  for (VertexId v = 0; v < n; ++v)
+    r[v] = static_cast<std::int32_t>(dist[v] - dist[root]);
+  SERELIN_ASSERT(g.valid(r), "W/D feasibility produced an invalid retiming");
+  return r;
+}
+
+namespace {
+
+/// Numeric slack when comparing D sums against a period budget — the same
+/// tolerance the dense candidate dedup and the legacy P1 filter use.
+constexpr double kTol = 1e-9;
+
+// ---------------------------------------------------------------------------
+// Dense engine: the matrices behind the interface.
+
+class DenseWdQuery final : public WdQuery {
+ public:
+  DenseWdQuery(const RetimingGraph& g, const Deadline& deadline)
+      : wd_(g, deadline) {}
+
+  const char* engine() const override { return "dense"; }
+  std::size_t size() const override { return wd_.size(); }
+  std::int32_t w(VertexId u, VertexId v) override { return wd_.w(u, v); }
+  double d(VertexId u, VertexId v) override { return wd_.d(u, v); }
+  std::vector<double> candidate_periods() override {
+    return wd_.candidate_periods();
+  }
+  bool exact_candidates() const override { return true; }
+  std::size_t memory_bytes() const override { return wd_.memory_bytes(); }
+
+  void for_each_period_constraint(
+      double budget, const std::function<void(VertexId, VertexId,
+                                              std::int32_t)>& emit) override {
+    const std::size_t n = wd_.size();
+    for (VertexId u = 0; u < n; ++u) {
+      for (VertexId v = 0; v < n; ++v) {
+        if (wd_.w(u, v) == WdMatrices::kUnreachable) continue;
+        if (wd_.d(u, v) <= budget + kTol) continue;
+        emit(u, v, wd_.w(u, v) - 1);
+      }
+    }
+  }
+
+  const WdMatrices& matrices() const { return wd_; }
+
+ private:
+  WdMatrices wd_;
+};
+
+// ---------------------------------------------------------------------------
+// Lazy engine: per-source rows on demand, O(|V|) working set.
+
+class LazyWdQuery final : public WdQuery {
+ public:
+  LazyWdQuery(const RetimingGraph& g, const WdQueryOptions& options)
+      : g_(&g), opt_(options), n_(g.vertex_count()) {
+    wrow_.assign(n_, kUnreachable);
+    drow_.assign(n_, 0.0);
+    tight_pending_.assign(n_, 0);
+    slot_of_.assign(n_, -1);
+    slots_.resize(std::max<std::size_t>(1, opt_.cache_rows));
+  }
+
+  const char* engine() const override { return "lazy"; }
+  std::size_t size() const override { return n_; }
+
+  std::int32_t w(VertexId u, VertexId v) override {
+    SERELIN_COUNT(kWdLazyQueries, 1);
+    return row(u).w[v];
+  }
+
+  double d(VertexId u, VertexId v) override {
+    SERELIN_COUNT(kWdLazyQueries, 1);
+    return row(u).d[v];
+  }
+
+  /// Sampled ladder: D values of evenly strided source rows, sorted and
+  /// tolerance-deduped exactly like the dense candidate set (of which
+  /// this is a subset). Deterministic in (graph, ladder_samples) only.
+  std::vector<double> candidate_periods() override {
+    SERELIN_SPAN("wd/lazy-ladder");
+    const std::size_t samples =
+        std::min<std::size_t>(std::max<std::size_t>(1, opt_.ladder_samples),
+                              n_);
+    const std::size_t stride = std::max<std::size_t>(1, n_ / samples);
+    std::vector<double> out;
+    for (std::size_t src = 0; src < n_; src += stride) {
+      const Row& r = row(static_cast<VertexId>(src));
+      for (VertexId v = 0; v < n_; ++v)
+        if (r.w[v] != kUnreachable) out.push_back(r.d[v]);
+    }
+    std::sort(out.begin(), out.end());
+    std::size_t kept = 0;
+    for (std::size_t i = 0; i < out.size(); ++i) {
+      if (kept == 0 || out[i] > out[kept - 1] + kTol) out[kept++] = out[i];
+    }
+    out.resize(kept);
+    return out;
+  }
+
+  bool exact_candidates() const override { return false; }
+
+  std::size_t memory_bytes() const override {
+    std::size_t bytes = wrow_.capacity() * sizeof(std::int32_t) +
+                        drow_.capacity() * sizeof(double) +
+                        tight_pending_.capacity() * sizeof(std::uint32_t) +
+                        slot_of_.capacity() * sizeof(std::int32_t);
+    for (const Row& s : slots_)
+      bytes += s.w.capacity() * sizeof(std::int32_t) +
+               s.d.capacity() * sizeof(double);
+    return bytes;
+  }
+
+  /// Period-pruned sweep: one bounded traversal per source, emitting only
+  /// at cut-frontier vertices. Every omitted pair constraint is implied by
+  /// an emitted one plus P0 telescoping along the register-minimal suffix
+  /// (dominance invariant, docs/SPARSE_WD.md), so the constraint system
+  /// solves to the same retiming as the dense sweep.
+  void for_each_period_constraint(
+      double budget, const std::function<void(VertexId, VertexId,
+                                              std::int32_t)>& emit) override {
+    SERELIN_SPAN("wd/lazy-constraints");
+    for (VertexId s = 0; s < n_; ++s) {
+      opt_.deadline.check("wd-query constraint sweep");
+      traverse(s, budget, &emit);
+      reset_scratch();
+    }
+  }
+
+ private:
+  struct Row {
+    VertexId src = kNullVertex;
+    std::uint64_t stamp = 0;
+    std::vector<std::int32_t> w;
+    std::vector<double> d;
+  };
+
+  /// Cached row for source u, computing (and possibly evicting the
+  /// least-recently-used slot) on a miss. Eviction is deterministic: the
+  /// stamp counter advances only with queries, never with wall time.
+  const Row& row(VertexId u) {
+    if (slot_of_[u] >= 0) {
+      Row& hit = slots_[static_cast<std::size_t>(slot_of_[u])];
+      hit.stamp = ++stamp_;
+      return hit;
+    }
+    std::size_t victim = 0;
+    for (std::size_t i = 0; i < slots_.size(); ++i) {
+      if (slots_[i].src == kNullVertex) {
+        victim = i;
+        break;
+      }
+      if (slots_[i].stamp < slots_[victim].stamp) victim = i;
+    }
+    Row& slot = slots_[victim];
+    if (slot.src != kNullVertex) slot_of_[slot.src] = -1;
+
+    opt_.deadline.check("wd-query row");
+    traverse(u, kNoBudget, nullptr);
+    slot.src = u;
+    slot.stamp = ++stamp_;
+    slot.w.assign(n_, kUnreachable);
+    slot.d.assign(n_, 0.0);
+    for (VertexId v : touched_) {
+      slot.w[v] = wrow_[v];
+      slot.d[v] = drow_[v];
+    }
+    reset_scratch();
+    slot_of_[u] = static_cast<std::int32_t>(victim);
+    return slot;
+  }
+
+  static constexpr double kNoBudget = std::numeric_limits<double>::infinity();
+
+  /// One single-source W Dijkstra + tight-DAG delay DP — the same
+  /// computation as a WdMatrices row, except that with a finite `budget`
+  /// the DP never relaxes past a vertex whose running D already exceeds
+  /// it: the vertex is emitted as the cut frontier instead, and the
+  /// dominated cone behind it is skipped entirely.
+  void traverse(VertexId s, double budget,
+                const std::function<void(VertexId, VertexId, std::int32_t)>*
+                    emit) {
+    SERELIN_COUNT(kWdSources, 1);
+    touched_.clear();
+    order_.clear();
+
+    wrow_[s] = 0;
+    touched_.push_back(s);
+    heap_.emplace(0, s);
+    while (!heap_.empty()) {
+      const auto [wu, u] = heap_.top();
+      heap_.pop();
+      SERELIN_COUNT(kWdHeapPops, 1);
+      if (wu != wrow_[u]) continue;
+      for (EdgeId eid : g_->out_edges(u)) {
+        const REdge& e = g_->edge(eid);
+        const std::int32_t cand = wu + e.w;
+        if (cand < wrow_[e.to]) {
+          if (wrow_[e.to] == kUnreachable) touched_.push_back(e.to);
+          wrow_[e.to] = cand;
+          heap_.emplace(cand, e.to);
+        }
+      }
+    }
+
+    // Tight-edge DAG pending counts over the reachable cone only (a tight
+    // edge's endpoints are both reachable by definition).
+    auto tight = [&](const REdge& e) {
+      return wrow_[e.from] != kUnreachable &&
+             wrow_[e.to] == wrow_[e.from] + e.w;
+    };
+    for (VertexId u : touched_) {
+      drow_[u] = 0.0;
+      for (EdgeId eid : g_->out_edges(u))
+        if (tight(g_->edge(eid))) ++tight_pending_[g_->edge(eid).to];
+    }
+
+    // Every reachable vertex except s has a tight in-edge (the last edge
+    // of a register-minimal path), so the DP starts from s alone.
+    drow_[s] = g_->vertex(s).delay;
+    order_.push_back(s);
+    bool any_cut = false;
+    for (std::size_t head = 0; head < order_.size(); ++head) {
+      const VertexId u = order_[head];
+      if (emit != nullptr && drow_[u] > budget + kTol) {
+        // Cut frontier: emit r(s) − r(u) ≤ W(s,u) − 1 and stop — deeper
+        // constraints are dominated (see header comment).
+        (*emit)(s, u, wrow_[u] - 1);
+        any_cut = true;
+        continue;
+      }
+      for (EdgeId eid : g_->out_edges(u)) {
+        const REdge& e = g_->edge(eid);
+        if (!tight(e)) continue;
+        drow_[e.to] = std::max(drow_[e.to], drow_[u] + g_->vertex(e.to).delay);
+        if (--tight_pending_[e.to] == 0) order_.push_back(e.to);
+      }
+    }
+    if (any_cut) SERELIN_COUNT(kWdRowsPruned, 1);
+  }
+
+  /// Restores the scratch arrays to their pristine state by undoing only
+  /// the touched entries — keeps per-source cost proportional to the
+  /// reachable cone, not |V|.
+  void reset_scratch() {
+    for (VertexId v : touched_) {
+      wrow_[v] = kUnreachable;
+      drow_[v] = 0.0;
+      tight_pending_[v] = 0;
+    }
+    touched_.clear();
+    order_.clear();
+  }
+
+  const RetimingGraph* g_;
+  WdQueryOptions opt_;
+  std::size_t n_ = 0;
+
+  // Traversal scratch, reused across sources (touched-entry reset).
+  std::vector<std::int32_t> wrow_;
+  std::vector<double> drow_;
+  std::vector<std::uint32_t> tight_pending_;
+  std::vector<VertexId> order_;
+  std::vector<VertexId> touched_;
+  using HeapItem = std::pair<std::int32_t, VertexId>;
+  std::priority_queue<HeapItem, std::vector<HeapItem>, std::greater<>> heap_;
+
+  // LRU row cache.
+  std::vector<Row> slots_;
+  std::vector<std::int32_t> slot_of_;
+  std::uint64_t stamp_ = 0;
+};
+
+}  // namespace
+
+std::unique_ptr<WdQuery> make_wd_query(const RetimingGraph& g,
+                                       WdQueryOptions options) {
+  if (g.vertex_count() <= options.dense_threshold)
+    return std::make_unique<DenseWdQuery>(g, options.deadline);
+  return std::make_unique<LazyWdQuery>(g, options);
+}
+
+std::optional<Retiming> wd_query_retime_for_period(const RetimingGraph& g,
+                                                   WdQuery& wd, double phi,
+                                                   double setup) {
+  SERELIN_REQUIRE(wd.size() == g.vertex_count(),
+                  "W/D query does not match the graph");
+  const double budget = phi - setup;
+  std::vector<WdConstraint> extra;
+  wd.for_each_period_constraint(
+      budget, [&](VertexId u, VertexId v, std::int32_t cost) {
+        extra.push_back({v, u, cost});  // r(u) − r(v) ≤ cost
+      });
+  return wd_solve_constraints(g, extra);
+}
+
+WdQueryMinPeriodResult wd_query_min_period(const RetimingGraph& g,
+                                           WdQuery& wd, double setup,
+                                           Deadline deadline) {
+  SERELIN_SPAN("wd/query-min-period");
+  WdQueryMinPeriodResult out;
+
+  if (wd.exact_candidates()) {
+    // Dense engine: the classical exact binary search over every distinct
+    // D value, expressed through the interface.
+    const std::vector<double> budgets = wd.candidate_periods();
+    SERELIN_REQUIRE(!budgets.empty(), "graph without paths");
+    std::size_t lo = 0, hi = budgets.size() - 1;
+    auto first = wd_query_retime_for_period(g, wd, budgets[hi] + setup, setup);
+    SERELIN_REQUIRE(first.has_value(),
+                    "even the critical path period is infeasible");
+    out.period = budgets[hi] + setup;
+    out.r = std::move(*first);
+    out.exact = true;
+    while (lo < hi) {
+      if (const StopReason sr = deadline.status(); sr != StopReason::kNone) {
+        out.stop_reason = sr;
+        return out;
+      }
+      const std::size_t mid = (lo + hi) / 2;
+      if (auto r = wd_query_retime_for_period(g, wd, budgets[mid] + setup,
+                                              setup)) {
+        hi = mid;
+        out.period = budgets[mid] + setup;
+        out.r = std::move(*r);
+      } else {
+        lo = mid + 1;
+      }
+    }
+    return out;
+  }
+
+  // Lazy engine: the sampled ladder brackets the optimum and FEAS probes
+  // (O(|V|+|E|) each) decide feasibility — no pair constraints, no
+  // matrices. The result is an upper bound on the exact minimum: FEAS
+  // certifies every reported period with a legal retiming.
+  MinPeriodRetimer::Options mp;
+  mp.setup = setup;
+  mp.deadline = deadline;
+  const MinPeriodRetimer feas(g, mp);
+  const Retiming zero = g.zero_retiming();
+
+  // r = 0 achieves the unretimed critical path, so it is the fallback
+  // upper bound even when every ladder sample probes infeasible.
+  GraphTiming timing(g, TimingParams{0.0, setup, 0.0});
+  timing.compute(zero);
+  double hi = setup;
+  double lo = 0.0;
+  for (VertexId v = 0; v < g.vertex_count(); ++v) {
+    hi = std::max(hi, timing.arrival(v) + setup);
+    lo = std::max(lo, g.vertex(v).delay + setup);
+  }
+  out.period = hi;
+  out.r = zero;
+  out.exact = false;
+
+  const std::vector<double> ladder = wd.candidate_periods();
+  std::size_t llo = 0, lhi = ladder.size();
+  while (llo < lhi) {
+    if (const StopReason sr = deadline.status(); sr != StopReason::kNone) {
+      out.stop_reason = sr;
+      return out;
+    }
+    const std::size_t mid = (llo + lhi) / 2;
+    const double phi = ladder[mid] + setup;
+    if (phi >= out.period) {  // not an improvement; tighten from below
+      lhi = mid;
+      continue;
+    }
+    if (auto r = feas.retime_for_period(phi, zero)) {
+      lhi = mid;
+      out.period = phi;
+      out.r = std::move(*r);
+    } else {
+      llo = mid + 1;
+      lo = std::max(lo, phi);
+    }
+  }
+
+  // The sampled ladder can miss D values between its bracketing entries;
+  // a short real-valued refinement recovers them to FEAS tolerance.
+  while (out.period - lo > mp.tolerance) {
+    if (const StopReason sr = deadline.status(); sr != StopReason::kNone) {
+      out.stop_reason = sr;
+      return out;
+    }
+    const double mid = 0.5 * (lo + out.period);
+    if (auto r = feas.retime_for_period(mid, zero)) {
+      out.period = mid;
+      out.r = std::move(*r);
+    } else {
+      lo = mid;
+    }
+  }
+  return out;
+}
+
+}  // namespace serelin

@@ -1,0 +1,145 @@
+// On-demand W/D queries — the sparse replacement for the Θ(|V|²) matrices.
+//
+// Leiserson–Saxe feasibility needs, for a candidate period φ, the pair
+// constraints r(u) − r(v) ≤ W(u,v) − 1 for every reachable (u, v) with
+// D(u,v) > φ − Ts. The classical formulation materializes W and D densely
+// (src/core/wd_matrices.*), which the paper's §IV-A names as the
+// bottleneck of this algorithm class. This header provides the scalable
+// alternative: a `WdQuery` interface that answers point queries and emits
+// period constraints *per source row*, so the peak memory is O(|V|) per
+// worker instead of Θ(|V|²).
+//
+// Two engines sit behind the interface (docs/SPARSE_WD.md):
+//
+//  * DenseWdQuery — wraps WdMatrices. Exact candidate periods, O(1) point
+//    queries. Chosen by make_wd_query() for circuits at or below
+//    WdQueryOptions::dense_threshold vertices, and used by tests and the
+//    oracle cross-checks as the ground truth.
+//  * LazyWdQuery — computes single-source rows on demand (the same
+//    Dijkstra + tight-DAG DP as the dense engine) into an LRU row cache,
+//    and emits period constraints with *budget pruning*: the delay DP is
+//    cut at the first vertex whose running D exceeds φ − Ts, because every
+//    deeper constraint is implied by the cut vertex's constraint plus P0
+//    telescoping along the register-minimal suffix (the dominance
+//    invariant, proved in docs/SPARSE_WD.md). Candidate periods are a
+//    sampled ladder of D values rather than the exact set.
+//
+// Both engines feed one shared difference-constraint Bellman–Ford, so
+// wd_query_retime_for_period() is bit-identical between them (the pruned
+// constraint system has the same shortest-distance solution — dominated
+// inequalities correspond to existing ≤-cost paths in the constraint
+// graph). The lazy min-period path replaces the dense binary search with
+// ladder + FEAS probes and never touches a matrix.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <limits>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "rgraph/retiming_graph.hpp"
+#include "support/deadline.hpp"
+
+namespace serelin {
+
+struct WdQueryOptions {
+  /// Vertex count at or below which make_wd_query() picks the dense
+  /// engine (Θ(n²) memory: 2048² ≈ 50 MB — the knee where the matrices
+  /// stop fitting comfortably in cache-adjacent memory).
+  std::size_t dense_threshold = 2048;
+  /// Row slots of the lazy engine's LRU cache (memory = slots · O(|V|)).
+  std::size_t cache_rows = 64;
+  /// Source rows sampled (evenly strided) for the lazy candidate ladder.
+  std::size_t ladder_samples = 64;
+  /// Budget for row computations and constraint sweeps; expiry throws
+  /// CancelledError (a half-swept constraint system is useless).
+  Deadline deadline;
+};
+
+/// Query interface over W(u,v) / D(u,v). Point queries are non-const:
+/// the lazy engine computes and caches rows on demand.
+class WdQuery {
+ public:
+  static constexpr std::int32_t kUnreachable =
+      std::numeric_limits<std::int32_t>::max();
+
+  virtual ~WdQuery() = default;
+
+  /// "dense" or "lazy" — for journals and reports.
+  virtual const char* engine() const = 0;
+
+  virtual std::size_t size() const = 0;
+
+  /// Minimum registers on any u→v path; kUnreachable if none.
+  virtual std::int32_t w(VertexId u, VertexId v) = 0;
+
+  /// Maximum delay of the register-minimal u→v paths (endpoints included).
+  virtual double d(VertexId u, VertexId v) = 0;
+
+  /// Candidate clock periods in increasing order. Exact (every distinct D
+  /// value) for the dense engine; a sampled subset for the lazy one —
+  /// check exact_candidates() before binary-searching for a minimum.
+  virtual std::vector<double> candidate_periods() = 0;
+  virtual bool exact_candidates() const = 0;
+
+  /// Emits every P1 pair constraint r(u) − r(v) ≤ cost needed for delay
+  /// budget `budget` = φ − Ts (the lazy engine prunes dominated ones; the
+  /// emitted system has the same Bellman–Ford solution either way).
+  virtual void for_each_period_constraint(
+      double budget,
+      const std::function<void(VertexId u, VertexId v, std::int32_t cost)>&
+          emit) = 0;
+
+  /// Bytes held by matrices / row cache right now.
+  virtual std::size_t memory_bytes() const = 0;
+};
+
+/// Engine selection by size: dense at or below options.dense_threshold
+/// vertices, lazy above.
+std::unique_ptr<WdQuery> make_wd_query(const RetimingGraph& g,
+                                       WdQueryOptions options = {});
+
+/// One difference constraint r(u) − r(v) ≤ cost (edge v → u of weight
+/// cost in the shortest-path encoding).
+struct WdConstraint {
+  VertexId from;  ///< v of "r(u) − r(v) ≤ cost"
+  VertexId to;    ///< u
+  std::int64_t cost;
+};
+
+/// Shared Bellman–Ford core: solves P0 + P1 + boundary-pinning difference
+/// constraints, nullopt on a negative cycle (period infeasible). `extra`
+/// carries the P1 pair constraints; P0 and root pinning are derived from
+/// the graph. Used by both wd_matrices and wd_query paths.
+std::optional<Retiming> wd_solve_constraints(
+    const RetimingGraph& g, const std::vector<WdConstraint>& extra);
+
+/// Feasibility of period `phi` through the query interface. Bit-identical
+/// to the dense wd_retime_for_period for any engine (dominance invariant).
+std::optional<Retiming> wd_query_retime_for_period(const RetimingGraph& g,
+                                                   WdQuery& wd, double phi,
+                                                   double setup = 0.0);
+
+struct WdQueryMinPeriodResult {
+  double period = 0.0;
+  Retiming r;
+  /// True when the period is the exact minimum (dense engine); false when
+  /// it is the ladder + FEAS upper bound of the lazy engine.
+  bool exact = false;
+  StopReason stop_reason = StopReason::kNone;
+
+  bool partial() const { return stop_reason != StopReason::kNone; }
+};
+
+/// Minimum feasible period through the query interface. Dense engine:
+/// exact binary search over all candidates (the classical algorithm).
+/// Lazy engine: binary search over the sampled ladder with FEAS probes,
+/// then real-valued refinement between the bracketing ladder values —
+/// an upper bound on the optimum, with O(|V|+|E|) memory end to end.
+WdQueryMinPeriodResult wd_query_min_period(const RetimingGraph& g,
+                                           WdQuery& wd, double setup = 0.0,
+                                           Deadline deadline = Deadline());
+
+}  // namespace serelin

@@ -241,10 +241,14 @@ ObsResult ObservabilityAnalyzer::run_exact() {
   };
   std::vector<LaneScratch> lanes(
       static_cast<std::size_t>(parallel_workers()));
-  // Deadline-aware fan-out: each lane polls before every flip-resimulate
-  // and the CancelledError is rethrown on the caller.
-  parallel_for(0, nl_->node_count(), 1, cfg_.deadline,
-               "observability exact pass", [&](std::size_t v, int lane) {
+  // Deadline-aware guided fan-out: each lane polls before every
+  // flip-resimulate and the CancelledError is rethrown on the caller.
+  // Flip costs vary with each node's fanout cone, so static round-robin
+  // chunking starves lanes that drew the cheap nodes; guided scheduling
+  // lets idle lanes claim the (deterministically pre-cut) chunks instead.
+  parallel_for_guided(0, nl_->node_count(), 1, cfg_.deadline,
+                      "observability exact pass", [&](std::size_t v,
+                                                      int lane) {
     LaneScratch& sc = lanes[static_cast<std::size_t>(lane)];
     if (!sc.sim) sc.sim = std::make_unique<Simulator>(*nl_, words_);
     SERELIN_COUNT(kObsFlips, 1);

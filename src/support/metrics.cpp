@@ -22,6 +22,9 @@ const char* counter_name(Counter c) {
     case Counter::kBundleGrowSteps: return "bundle-grow-steps";
     case Counter::kWdSources: return "wd-sources";
     case Counter::kWdHeapPops: return "wd-heap-pops";
+    case Counter::kWdLazyQueries: return "wd-lazy-queries";
+    case Counter::kWdRowsPruned: return "wd-rows-pruned";
+    case Counter::kIncrNodesTouched: return "incr-nodes-touched";
     case Counter::kElwIntervalOps: return "elw-interval-ops";
     case Counter::kSimPatternWords: return "sim-pattern-words";
     case Counter::kObsFlips: return "obs-flips";
@@ -29,6 +32,7 @@ const char* counter_name(Counter c) {
     case Counter::kOracleChecks: return "oracle-checks";
     case Counter::kDeadlineSlices: return "deadline-slices";
     case Counter::kJournalWrites: return "journal-writes";
+    case Counter::kGuidedChunks: return "guided-chunks";
     case Counter::kCount: break;
   }
   return "unknown";

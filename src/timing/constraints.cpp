@@ -1,5 +1,7 @@
 #include "timing/constraints.hpp"
 
+#include <algorithm>
+
 #include "support/check.hpp"
 
 namespace serelin {
@@ -149,6 +151,90 @@ std::vector<Violation> ConstraintChecker::find_violations(
   const double budget = params_.window_lo();
   for (VertexId v = 0; v < g_->vertex_count() && out.size() < max_count;
        ++v) {
+    if (g_->vertex(v).kind == VertexKind::kSink) continue;
+    const double longest = g_->vertex(v).delay + t.max_after(v);
+    if (longest <= budget + kEps) continue;
+    Violation viol{ConstraintKind::kP1, t.lt(v), v, 1};
+    if (allowed(movers, viol.p)) push(viol);
+    else if (!fallback) fallback = viol;
+  }
+
+  if (out.empty() && fallback) out.push_back(*fallback);
+  return out;
+}
+
+std::vector<Violation> ConstraintChecker::find_violations(
+    const Retiming& r, const GraphTiming& t, const TimingDelta& delta,
+    std::span<const char> movers, std::size_t max_count) const {
+  if (delta.full) return find_violations(r, t, movers, max_count);
+
+  std::vector<Violation> out;
+  std::vector<char> taken(g_->vertex_count(), 0);
+  auto push = [&](const Violation& v) {
+    if (taken[v.q]) return;
+    taken[v.q] = 1;
+    out.push_back(v);
+  };
+
+  if (delta.p0_dirty) {
+    // Timing labels were not updated (and are not read here). The labeled
+    // state is valid, so every negative edge is in wr_changed; scanning it
+    // ascending reproduces the full P0 scan exactly.
+    for (EdgeId eid : delta.wr_changed) {
+      if (out.size() >= max_count) break;
+      const std::int32_t w = g_->wr(eid, r);
+      if (w >= 0) continue;
+      const REdge& e = g_->edge(eid);
+      push(Violation{ConstraintKind::kP0, e.to, e.from, -w});
+    }
+    return out;
+  }
+
+  std::optional<Violation> fallback;
+
+  // P2' candidates: a fresh violation needs a changed register count or a
+  // changed head label (min_after / crit_min_edge / rt of e.to), so the
+  // union of wr_changed and the in-edges of relabeled vertices covers
+  // every violating edge. Sorted ascending to mirror the full scan.
+  if (rmin_ > 0.0) {
+    std::vector<EdgeId> edges = delta.wr_changed;
+    for (VertexId v : delta.relabeled)
+      edges.insert(edges.end(), g_->in_edges(v).begin(),
+                   g_->in_edges(v).end());
+    std::sort(edges.begin(), edges.end());
+    edges.erase(std::unique(edges.begin(), edges.end()), edges.end());
+    for (EdgeId eid : edges) {
+      if (out.size() >= max_count) break;
+      if (g_->wr(eid, r) <= 0) continue;
+      const REdge& e = g_->edge(eid);
+      const RVertex& head = g_->vertex(e.to);
+      if (head.kind == VertexKind::kSink) {
+        if (rmin_ > kEps) {
+          Violation v{ConstraintKind::kP2, e.from, e.to, 1};
+          if (allowed(movers, v.p)) push(v);
+          else if (!fallback) fallback = v;
+        }
+        continue;
+      }
+      const double short_path = head.delay + t.min_after(e.to);
+      if (short_path + kEps >= rmin_) continue;
+      const EdgeId boundary = t.crit_min_edge(e.to);
+      if (boundary == kNullEdge) continue;
+      const REdge& be = g_->edge(boundary);
+      const std::int32_t need = std::max(g_->wr(boundary, r), 1);
+      VertexId p = e.from;
+      if (!allowed(movers, p) && allowed(movers, t.rt(e.to))) p = t.rt(e.to);
+      Violation v{ConstraintKind::kP2, p, be.to, need};
+      if (allowed(movers, v.p)) push(v);
+      else if (!fallback) fallback = v;
+    }
+  }
+
+  // P1' candidates: a fresh violation needs a changed max_after, so the
+  // relabeled set (already ascending) covers every violating vertex.
+  const double budget = params_.window_lo();
+  for (VertexId v : delta.relabeled) {
+    if (out.size() >= max_count) break;
     if (g_->vertex(v).kind == VertexKind::kSink) continue;
     const double longest = g_->vertex(v).delay + t.max_after(v);
     if (longest <= budget + kEps) continue;

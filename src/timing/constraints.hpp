@@ -77,6 +77,21 @@ class ConstraintChecker {
                                          std::span<const char> movers,
                                          std::size_t max_count) const;
 
+  /// Dirty-set batch form: scans only the edges/vertices named by `delta`
+  /// (a GraphTiming::update result) instead of the whole graph. Requires
+  /// the solver invariant that the previously labeled retiming was
+  /// violation-free: then every current violation involves a w_r-changed
+  /// edge or a relabeled vertex, and because candidates are scanned in the
+  /// same ascending order as the full scan, the returned batch (including
+  /// the mover-attribution fallback) is identical to the full-scan batch.
+  /// delta.full falls back to the full scan; delta.p0_dirty yields the
+  /// P0-only batch without touching timing labels.
+  std::vector<Violation> find_violations(const Retiming& r,
+                                         const GraphTiming& t,
+                                         const TimingDelta& delta,
+                                         std::span<const char> movers,
+                                         std::size_t max_count) const;
+
   /// Individual predicates (full scans; used by tests and the initializer).
   bool p0_holds(const Retiming& r) const;
   bool p1_holds(const GraphTiming& t) const;

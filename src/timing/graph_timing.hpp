@@ -23,14 +23,46 @@
 // active constraints in the MinObsWin solver; for the shortest path the
 // boundary edge itself is retained (crit_min_edge) so the solver can move
 // its registers.
+//
+// Incremental updates: update(r) diffs `r` against the retiming the labels
+// were last computed for and relabels only the affected fanin/fanout cones
+// (O(cone) instead of O(|V|+|E|) per solver move). The relabeled values are
+// bit-identical to a from-scratch compute(r) — each cone vertex is
+// recomputed with the exact compute() loop body, reading already-final
+// neighbour labels — so solvers can switch between the two freely. The
+// returned TimingDelta additionally names what changed, which lets the
+// constraint checker scan only dirty edges/vertices (see constraints.hpp).
 #pragma once
 
+#include <span>
 #include <vector>
 
 #include "rgraph/retiming_graph.hpp"
 #include "timing/params.hpp"
 
 namespace serelin {
+
+/// What a GraphTiming::update() call changed. Lifetime: valid until the
+/// next compute()/update() on the same GraphTiming.
+struct TimingDelta {
+  /// A full recompute ran (labels were not exact before the call); the
+  /// dirty sets below are not populated.
+  bool full = false;
+  /// `r` has a negative w_r edge (P0 violated). Labels were NOT updated —
+  /// they still describe the previous retiming — because the w_r = 0
+  /// subgraph of an invalid retiming is not a meaningful DAG. wr_changed
+  /// still lists every edge whose w_r differs from the labeled state (a
+  /// superset of the negative edges, since the labeled state is valid).
+  bool p0_dirty = false;
+  /// Edges whose w_r differs from the previously labeled retiming,
+  /// ascending. Empty when `full`.
+  std::vector<EdgeId> wr_changed;
+  /// Vertices whose backward labels (max_after/min_after/lt/rt/
+  /// crit_min_edge) changed, ascending. Arrival-only changes are not
+  /// listed: the constraint predicates never read arrival. Empty when
+  /// `full` or `p0_dirty`.
+  std::vector<VertexId> relabeled;
+};
 
 class GraphTiming {
  public:
@@ -39,6 +71,20 @@ class GraphTiming {
   /// Recomputes every label for retiming `r` (O(|V|+|E|)).
   /// Requires g.valid(r).
   void compute(const Retiming& r);
+
+  /// Incrementally relabels for `r`, touching only the cones reachable
+  /// from edges whose w_r changed since the last compute()/update().
+  /// Results are bit-identical to compute(r) whenever g.valid(r); when
+  /// `r` is invalid (negative w_r) the labels are left at the previous
+  /// state and the delta reports p0_dirty (callers must not read labels
+  /// until a later update with a valid retiming rolls them forward).
+  ///
+  /// `moved_hint`, when non-empty, must be a superset of the vertices
+  /// whose r differs from the last labeled state (duplicates fine); it
+  /// skips the O(|V|) diff scan. Falls back to a full compute when no
+  /// labels exist yet.
+  const TimingDelta& update(const Retiming& r,
+                            std::span<const VertexId> moved_hint = {});
 
   const TimingParams& params() const { return params_; }
 
@@ -59,11 +105,17 @@ class GraphTiming {
   /// rt(v) that carries registers (or reaches a primary-output sink).
   EdgeId crit_min_edge(VertexId v) const { return crit_min_edge_[v]; }
 
-  /// Topological order of the w_r = 0 subgraph from the last compute().
+  /// Topological order of the w_r = 0 subgraph from the last full
+  /// compute() (incremental update() does not maintain it).
   const std::vector<VertexId>& topo_order() const { return topo_; }
 
  private:
   void topo_sort(const Retiming& r);
+  /// Recomputes arrival(v) from its (already final) w_r = 0 fanins.
+  void relabel_forward(const Retiming& r, VertexId v);
+  /// Recomputes the five backward labels of v from its (already final)
+  /// w_r = 0 fanouts; returns true when any of them changed.
+  bool relabel_backward(const Retiming& r, VertexId v);
 
   const RetimingGraph* g_;
   TimingParams params_;
@@ -74,6 +126,19 @@ class GraphTiming {
   std::vector<VertexId> crit_min_end_;
   std::vector<EdgeId> crit_min_edge_;
   std::vector<VertexId> topo_;
+
+  // Incremental-update state: the retiming the labels describe, and
+  // epoch-stamped scratch so updates allocate nothing in steady state.
+  Retiming label_r_;
+  bool labels_exact_ = false;
+  TimingDelta delta_;
+  std::uint64_t epoch_ = 0;
+  std::vector<std::uint64_t> vmark_;
+  std::vector<std::uint64_t> emark_;
+  std::vector<std::uint32_t> pending_;
+  std::vector<VertexId> changed_;
+  std::vector<VertexId> cone_;
+  std::vector<VertexId> queue_;
 };
 
 }  // namespace serelin

@@ -1,0 +1,8 @@
+// Fixture: solver code constructing the dense W/D engine directly instead
+// of going through make_wd_query (which gates it by circuit size).
+#include "core/wd_matrices.hpp"
+
+void plan(const serelin::RetimingGraph& g) {
+  serelin::WdMatrices wd(g);  // line 6: serelin-wd-dense-gated fires here
+  (void)wd;
+}

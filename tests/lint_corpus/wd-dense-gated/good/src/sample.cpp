@@ -1,0 +1,10 @@
+// Fixture: W/D access through the size-gated query interface is fine, and
+// comments or strings naming WdMatrices must not trip the rule.
+#include "core/wd_query.hpp"
+
+const char* engine_note() { return "WdMatrices stays behind the gate"; }
+
+void plan(const serelin::RetimingGraph& g) {
+  auto wd = serelin::make_wd_query(g, {});
+  (void)wd;
+}

@@ -8,8 +8,10 @@
 #include <string>
 #include <vector>
 
+#include "check/cross_check.hpp"
 #include "check/oracle.hpp"
 #include "core/initializer.hpp"
+#include "gen/random_circuit.hpp"
 #include "core/min_area.hpp"
 #include "core/min_period.hpp"
 #include "helpers.hpp"
@@ -283,6 +285,75 @@ TEST(Oracle, CriticalPathMatchesHandComputation) {
                                      lib.delay(CellType::kNot),
                                  lib.delay(CellType::kBuf));
   EXPECT_DOUBLE_EQ(critical_path(nl, lib), expect);
+}
+
+TEST(CrossCheck, IncrementalTimingValidatesAfterUpdates) {
+  RandomCircuitSpec spec;
+  spec.gates = 150;
+  spec.dffs = 40;
+  spec.seed = 99;
+  const Netlist nl = generate_random_circuit(spec);
+  CellLibrary lib;
+  RetimingGraph g(nl, lib);
+  GraphTiming t(g, {60.0, 0.0, 2.0});
+  Retiming r = g.zero_retiming();
+  t.compute(r);
+
+  // Advance through a few valid single-vertex moves via update(), then
+  // cross-check against the from-scratch recompute.
+  Rng rng(4242);
+  const auto& gates = g.gate_vertices();
+  int applied = 0;
+  for (int step = 0; step < 200 && applied < 25; ++step) {
+    const VertexId v = gates[rng.next() % gates.size()];
+    const bool inc = rng.chance(0.5);
+    const auto& edges = inc ? g.out_edges(v) : g.in_edges(v);
+    bool ok = true;
+    for (EdgeId e : edges)
+      if (g.wr(e, r) < 1) { ok = false; break; }
+    if (!ok) continue;
+    r[v] += inc ? 1 : -1;
+    ++applied;
+    t.update(r, std::span<const VertexId>(&v, 1));
+  }
+  ASSERT_GT(applied, 0);
+  const CrossCheckResult res = cross_check_incremental_timing(g, t, r);
+  EXPECT_TRUE(res.ok) << res.detail;
+}
+
+TEST(CrossCheck, IncrementalTimingCatchesStaleLabels) {
+  // Labels computed for the zero retiming, cross-checked against a moved
+  // one: the helper must report the divergence, not bless it.
+  const Netlist nl = test::tiny_ring();
+  CellLibrary lib;
+  RetimingGraph g(nl, lib);
+  GraphTiming t(g, {4.0, 0.0, 1.0});
+  Retiming r = g.zero_retiming();
+  t.compute(r);
+
+  Retiming moved = r;
+  const VertexId inv1 = g.vertex_of(nl.find("inv1"));
+  moved[inv1] += 1;  // inv1 -> ff2: the out-edge carries a register
+  ASSERT_TRUE(g.valid(moved));
+  const CrossCheckResult res = cross_check_incremental_timing(g, t, moved);
+  EXPECT_FALSE(res.ok);
+  EXPECT_FALSE(res.detail.empty());
+}
+
+TEST(CrossCheck, LazyWdEngineValidatesAgainstDense) {
+  RandomCircuitSpec spec;
+  spec.gates = 120;
+  spec.dffs = 30;
+  spec.seed = 77;
+  const Netlist nl = generate_random_circuit(spec);
+  CellLibrary lib;
+  RetimingGraph g(nl, lib);
+  WdQueryOptions opt;
+  opt.dense_threshold = 0;  // force lazy
+  opt.cache_rows = 4;
+  auto lazy = make_wd_query(g, opt);
+  const CrossCheckResult res = cross_check_wd_engine(g, *lazy);
+  EXPECT_TRUE(res.ok) << res.detail;
 }
 
 }  // namespace

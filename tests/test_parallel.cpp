@@ -270,6 +270,55 @@ TEST(ParallelStress, ManyMoreTasksThanThreads) {
   EXPECT_EQ(slots, reference);
 }
 
+// --- Guided scheduling -----------------------------------------------------
+
+TEST(ParallelGuided, ResultsAreThreadCountInvariant) {
+  ThreadGuard guard;
+  constexpr std::size_t kN = 10000;
+  set_execution_threads(1);
+  std::vector<std::uint64_t> reference(kN, 0);
+  parallel_for_guided(0, kN, 4, [&](std::size_t i, int) {
+    reference[i] = i * 2654435761ULL;
+  });
+  for (int threads : thread_ladder()) {
+    set_execution_threads(threads);
+    std::vector<std::uint64_t> got(kN, 0);
+    parallel_for_guided(0, kN, 4,
+                        [&](std::size_t i, int) { got[i] = i * 2654435761ULL; });
+    ASSERT_EQ(got, reference) << "at " << threads << " threads";
+  }
+}
+
+TEST(ParallelGuided, LaneIndexStaysBelowConfiguredWorkers) {
+  // Regression: the shared pool keeps the largest worker count ever
+  // requested. A guided region configured for fewer workers must not let
+  // the pool's surplus lanes participate — callers size per-lane scratch
+  // with parallel_workers().
+  ThreadGuard guard;
+  set_execution_threads(8);
+  parallel_for(0, std::size_t{64}, 1, [](std::size_t, int) {});  // grow pool
+  set_execution_threads(2);
+  std::atomic<int> max_lane{-1};
+  parallel_for_guided(0, std::size_t{5000}, 1, [&](std::size_t, int lane) {
+    int seen = max_lane.load(std::memory_order_relaxed);
+    while (lane > seen &&
+           !max_lane.compare_exchange_weak(seen, lane,
+                                           std::memory_order_relaxed)) {
+    }
+  });
+  EXPECT_LT(max_lane.load(), parallel_workers());
+}
+
+TEST(ParallelGuided, DeadlineExpiryCancelsRegion) {
+  ThreadGuard guard;
+  set_execution_threads(2);
+  const Deadline expired = Deadline::after(0.0);
+  EXPECT_THROW(parallel_for_guided(0, std::size_t{1000}, 1, expired,
+                                   "test/guided-deadline",
+                                   [](std::size_t, int) {}),
+               CancelledError);
+}
+
 // --- Per-lane diagnostics --------------------------------------------------
 
 /// Runs a deadline-aware parallel region in which every index divisible by

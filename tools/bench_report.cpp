@@ -5,6 +5,7 @@
 //
 //   bench_report [--out BENCH_parallel.json] [--gates N] [--dffs N]
 //                [--threads 1,2,4,8] [--repeat R]
+//                [--kernels wd_construct,wd_query,...]
 //
 // Each (kernel, threads) cell reports the best of R runs (default 2) and
 // the speedup relative to the same kernel at 1 thread. The tool also
@@ -17,7 +18,10 @@
 #include <string>
 #include <vector>
 
-#include "core/wd_matrices.hpp"
+#include <limits>
+#include <span>
+
+#include "core/wd_query.hpp"
 #include "gen/random_circuit.hpp"
 #include "netlist/cell_library.hpp"
 #include "rgraph/retiming_graph.hpp"
@@ -28,6 +32,7 @@
 #include "support/parallel.hpp"
 #include "support/stopwatch.hpp"
 #include "support/strings.hpp"
+#include "timing/graph_timing.hpp"
 
 namespace {
 
@@ -55,7 +60,8 @@ struct KernelReport {
   std::fprintf(stderr, "error: %s\n", msg.c_str());
   std::fprintf(stderr,
                "usage: bench_report [--out f.json] [--gates N] [--dffs N]"
-               " [--threads 1,2,4,8] [--repeat R]\n");
+               " [--threads 1,2,4,8] [--repeat R]"
+               " [--kernels wd_construct,wd_query,...]\n");
   std::exit(64);
 }
 
@@ -82,6 +88,21 @@ std::vector<int> parse_threads(const char* arg) {
     pos = comma + 1;
   }
   if (out.empty()) usage_error("--threads needs at least one count");
+  return out;
+}
+
+std::vector<std::string> parse_kernels(const char* arg) {
+  std::vector<std::string> out;
+  std::string s(arg);
+  std::size_t pos = 0;
+  while (pos < s.size()) {
+    std::size_t comma = s.find(',', pos);
+    if (comma == std::string::npos) comma = s.size();
+    std::string name = s.substr(pos, comma - pos);
+    if (!name.empty()) out.push_back(std::move(name));
+    pos = comma + 1;
+  }
+  if (out.empty()) usage_error("--kernels needs at least one name");
   return out;
 }
 
@@ -194,6 +215,7 @@ int main(int argc, char** argv) {
   spec.seed = 777;
   std::vector<int> threads = {1, 2, 4, 8};
   int repeat = 2;
+  std::vector<std::string> only_kernels;  // empty = run everything
 
   try {
     for (int i = 1; i < argc; ++i) {
@@ -210,9 +232,17 @@ int main(int argc, char** argv) {
       else if (!std::strcmp(argv[i], "--threads")) threads = parse_threads(value());
       else if (!std::strcmp(argv[i], "--repeat"))
         repeat = parse_count("--repeat", value(), 1, 1000);
+      else if (!std::strcmp(argv[i], "--kernels"))
+        only_kernels = parse_kernels(value());
       else
         usage_error(std::string("unknown option ") + argv[i]);
     }
+    auto want = [&](const char* name) {
+      if (only_kernels.empty()) return true;
+      for (const std::string& k : only_kernels)
+        if (k == name) return true;
+      return false;
+    };
 
     std::printf("bench_report: %d-gate circuit, %d hardware thread(s)\n",
                 spec.gates, hardware_threads());
@@ -221,16 +251,80 @@ int main(int argc, char** argv) {
     const RetimingGraph g(nl, lib);
     std::vector<KernelReport> kernels;
 
-    kernels.push_back(measure(
-        "wd_construct", "all-pairs W/D over the retiming graph", threads,
-        repeat, [&] {
-          WdMatrices wd(g);
-          std::vector<std::uint64_t> fp;
-          fp.push_back(fingerprint_bytes(wd.candidate_periods()));
-          return fp;
-        }));
+    if (want("wd_construct")) {
+      kernels.push_back(measure(
+          "wd_construct", "all-pairs W/D over the retiming graph", threads,
+          repeat, [&] {
+            // Dense engine forced through the query interface: the
+            // threshold check is the only extra work, so this still
+            // measures the eager all-pairs construction.
+            WdQueryOptions opt;
+            opt.dense_threshold = std::numeric_limits<std::size_t>::max();
+            auto wd = make_wd_query(g, opt);
+            std::vector<std::uint64_t> fp;
+            fp.push_back(fingerprint_bytes(wd->candidate_periods()));
+            return fp;
+          }));
+    }
 
-    {
+    if (want("wd_query")) {
+      kernels.push_back(measure(
+          "wd_query", "lazy min-period: ladder + FEAS, no dense W/D",
+          threads, repeat, [&] {
+            WdQueryOptions opt;
+            opt.dense_threshold = 0;  // force the lazy engine at any size
+            auto wd = make_wd_query(g, opt);
+            const WdQueryMinPeriodResult res = wd_query_min_period(g, *wd);
+            std::vector<std::uint64_t> fp;
+            std::vector<double> period{res.period};
+            fp.push_back(fingerprint_bytes(period));
+            fp.push_back(fingerprint_bytes(res.r));
+            return fp;
+          }));
+    }
+
+    if (want("incr_relabel")) {
+      kernels.push_back(measure(
+          "incr_relabel", "4096 single-vertex moves, cone-incremental",
+          threads, repeat, [&] {
+            GraphTiming timing(g, TimingParams{100.0, 0.0, 2.0});
+            Retiming r = g.zero_retiming();
+            timing.compute(r);
+            // Deterministic random walk of ±1 moves over the gate
+            // vertices; a move is applied only when the O(deg) precheck
+            // shows it keeps every incident w_r non-negative, so every
+            // update() takes the valid (cone-relabel) path.
+            Rng rng = stream_rng(spec.seed, /*index=*/41);
+            const auto& gates = g.gate_vertices();
+            std::uint64_t applied = 0;
+            for (int step = 0; step < 4096; ++step) {
+              const VertexId mv = gates[rng.next() % gates.size()];
+              const bool inc = rng.chance(0.5);
+              const auto& edges = inc ? g.out_edges(mv) : g.in_edges(mv);
+              bool ok = true;
+              for (EdgeId e : edges)
+                if (g.wr(e, r) < 1) { ok = false; break; }
+              if (!ok) continue;
+              r[mv] += inc ? 1 : -1;
+              timing.update(r, std::span<const VertexId>(&mv, 1));
+              ++applied;
+            }
+            std::vector<double> labels;
+            labels.reserve(g.vertex_count() * 3);
+            for (VertexId v = 0; v < g.vertex_count(); ++v) {
+              labels.push_back(timing.arrival(v));
+              labels.push_back(timing.max_after(v));
+              labels.push_back(timing.min_after(v));
+            }
+            std::vector<std::uint64_t> fp;
+            fp.push_back(fingerprint_bytes(labels));
+            fp.push_back(fingerprint_bytes(r));
+            fp.push_back(applied);
+            return fp;
+          }));
+    }
+
+    if (want("obs_exact")) {
       SimConfig cfg;
       cfg.patterns = 256;
       cfg.frames = 2;
@@ -245,7 +339,7 @@ int main(int argc, char** argv) {
           }));
     }
 
-    {
+    if (want("obs_signature")) {
       SimConfig cfg;
       cfg.patterns = 2048;
       cfg.frames = 8;
@@ -260,7 +354,7 @@ int main(int argc, char** argv) {
           }));
     }
 
-    {
+    if (want("ser_sweep")) {
       SerOptions opt;
       opt.timing = {100.0, 0.0, 2.0};
       opt.sim.patterns = 512;
@@ -277,6 +371,11 @@ int main(int argc, char** argv) {
             return fp;
           }));
     }
+
+    if (kernels.empty())
+      usage_error("--kernels matched no known kernel (known: wd_construct, "
+                  "wd_query, incr_relabel, obs_exact, obs_signature, "
+                  "ser_sweep)");
 
     bool all_identical = true;
     for (const KernelReport& k : kernels)

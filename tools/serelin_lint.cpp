@@ -67,6 +67,11 @@ constexpr RuleInfo kRules[] = {
      "range-for over std::unordered_map/set in src/{core,sim,ser,check} — "
      "iteration order is nondeterministic, which breaks bit-identical "
      "reductions"},
+    {"wd-dense-gated",
+     "direct WdMatrices use is confined to src/core/wd_matrices.*, "
+     "src/core/wd_query.* and src/check/* — everything else must go "
+     "through the make_wd_query interface, which picks the dense engine "
+     "only below the size threshold (docs/SPARSE_WD.md)"},
     {"diag-code-name",
      "every DiagCode enumerator in src/support/diag.hpp must have a "
      "diag_code_name case in src/support/diag.cpp"},
@@ -334,6 +339,30 @@ void rule_banned_tokens(const SourceFile& f, std::vector<Finding>& out) {
         pos = find_token(line, "time", pos + 1);
       }
     }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Rule: wd-dense-gated
+
+/// The dense engine's own implementation, the query interface that wraps
+/// it, and the oracle-side cross-checks (which exist to compare engines)
+/// may name WdMatrices; nothing else in src/ or tools/ may.
+bool wd_dense_exempt(const std::string& rel) {
+  return rel == "src/core/wd_matrices.hpp" ||
+         rel == "src/core/wd_matrices.cpp" ||
+         rel == "src/core/wd_query.hpp" || rel == "src/core/wd_query.cpp" ||
+         rel.rfind("src/check/", 0) == 0;
+}
+
+void rule_wd_dense_gated(const SourceFile& f, std::vector<Finding>& out) {
+  if (wd_dense_exempt(f.rel)) return;
+  for (std::size_t li = 0; li < f.code.size(); ++li) {
+    if (find_token(f.code[li], "WdMatrices") == std::string::npos) continue;
+    report(out, f, static_cast<int>(li + 1), "wd-dense-gated",
+           "'WdMatrices' is the Θ(|V|²) dense engine; construct W/D "
+           "access through make_wd_query so large circuits take the "
+           "lazy path (docs/SPARSE_WD.md)");
   }
 }
 
@@ -796,6 +825,7 @@ int main(int argc, char** argv) {
         rule_banned_tokens(f, findings);
       if (enabled("no-unordered-range-for"))
         rule_unordered_range_for(f, findings);
+      if (enabled("wd-dense-gated")) rule_wd_dense_gated(f, findings);
       if (enabled("trace-macro-pure")) rule_trace_macro_pure(f, findings);
       if (enabled("header-self-sufficient"))
         rule_header_self_sufficient(f, checker, findings);
