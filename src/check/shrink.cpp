@@ -1,0 +1,121 @@
+#include "check/shrink.hpp"
+
+#include <optional>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "netlist/builder.hpp"
+#include "netlist/cell.hpp"
+#include "support/check.hpp"
+
+namespace serelin {
+
+namespace {
+
+/// Signal the victim's consumers get rewired to: the victim's first fanin
+/// when it has one that is not itself, else a sibling primary input.
+/// Empty when no legal substitute exists (e.g. the only primary input).
+std::string pick_replacement(const Netlist& nl, NodeId victim) {
+  const Node& node = nl.node(victim);
+  for (const NodeId f : node.fanins)
+    if (f != victim) return nl.node(f).name;
+  for (const NodeId pi : nl.inputs())
+    if (pi != victim) return nl.node(pi).name;
+  return {};
+}
+
+/// Rebuilds `nl` without `victim`, rewiring every reference (fanins and
+/// primary-output marks) to the replacement signal. nullopt when the
+/// removal has no substitute or the rebuilt netlist is structurally
+/// illegal (typically: bypassing a flip-flop closed a combinational
+/// cycle) — such candidates are skipped, never repaired.
+std::optional<Netlist> remove_node(const Netlist& nl, NodeId victim) {
+  const std::string replacement = pick_replacement(nl, victim);
+  if (replacement.empty()) return std::nullopt;
+  const std::string& victim_name = nl.node(victim).name;
+  const auto mapped = [&](const std::string& name) -> const std::string& {
+    return name == victim_name ? replacement : name;
+  };
+
+  NetlistBuilder b(nl.name());
+  for (NodeId id = 0; id < nl.node_count(); ++id) {
+    if (id == victim) continue;
+    const Node& node = nl.node(id);
+    switch (node.type) {
+      case CellType::kInput:
+        b.input(node.name);
+        break;
+      case CellType::kDff:
+        b.dff(node.name, mapped(nl.node(node.fanins.front()).name));
+        break;
+      case CellType::kConst0:
+      case CellType::kConst1:
+        b.constant(node.name, node.type == CellType::kConst1);
+        break;
+      default: {
+        std::vector<std::string> fanins;
+        fanins.reserve(node.fanins.size());
+        for (const NodeId f : node.fanins)
+          fanins.push_back(mapped(nl.node(f).name));
+        b.gate(node.name, node.type, std::move(fanins));
+        break;
+      }
+    }
+  }
+  for (const NodeId out : nl.outputs())
+    b.output(out == victim ? replacement : nl.node(out).name);
+
+  try {
+    return b.build();
+  } catch (const std::exception&) {
+    return std::nullopt;  // illegal removal (cycle, arity, ...): skip
+  }
+}
+
+}  // namespace
+
+ShrinkResult shrink_netlist(const Netlist& start,
+                            const ShrinkPredicate& still_fails,
+                            ShrinkOptions options) {
+  SERELIN_REQUIRE(start.finalized(), "shrink_netlist needs a finalized start");
+  SERELIN_REQUIRE(still_fails(start),
+                  "shrink_netlist start does not satisfy the predicate");
+
+  ShrinkResult out;
+  Netlist current = start;
+  bool budget_left = true;
+  while (budget_left) {
+    bool progress = false;
+    // Names are the stable handles across rebuilds; node ids are not.
+    std::vector<std::string> names;
+    names.reserve(current.node_count());
+    for (NodeId id = 0; id < current.node_count(); ++id)
+      names.push_back(current.node(id).name);
+    for (const std::string& name : names) {
+      const NodeId id = current.find(name);
+      if (id == kNullNode) continue;  // removed earlier this pass
+      std::optional<Netlist> candidate = remove_node(current, id);
+      if (!candidate) continue;
+      if (out.checks >= options.max_checks) {
+        budget_left = false;
+        break;
+      }
+      ++out.checks;
+      if (still_fails(*candidate)) {
+        current = std::move(*candidate);
+        ++out.removed;
+        progress = true;
+      }
+    }
+    if (budget_left && !progress) {
+      // A full pass over the final netlist removed nothing: 1-minimal.
+      out.one_minimal = true;
+      break;
+    }
+  }
+  out.netlist = std::move(current);
+  return out;
+}
+
+}  // namespace serelin

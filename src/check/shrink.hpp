@@ -1,0 +1,53 @@
+// Delta-debugging shrinker for fuzzer counterexamples.
+//
+// A divergence found on a 40-gate random circuit is unreadable; the same
+// divergence on a 6-gate circuit is a bug report. shrink_netlist() greedily
+// removes one node at a time — rewiring the node's consumers to its first
+// fanin (gates, flip-flops) or to a sibling primary input — and keeps each
+// removal only when the caller's predicate still holds (still diverges,
+// still crashes). It loops to a fixpoint: the result is 1-minimal with
+// respect to the removal operator — no single further node removal
+// preserves the predicate.
+//
+// Removals that would make the netlist structurally illegal (bypassing a
+// flip-flop can close a combinational cycle; dropping the last input or
+// output) are skipped, not repaired: every candidate handed to the
+// predicate is a finalized, legal netlist, so the predicate can run the
+// full solver stack without defensive checks.
+#pragma once
+
+#include <functional>
+
+#include "netlist/netlist.hpp"
+
+namespace serelin {
+
+/// True when the candidate still exhibits the behavior being minimized
+/// (the divergence, the crash). Called with finalized netlists only; it
+/// must be deterministic — a flaky predicate yields a meaningless minimum.
+using ShrinkPredicate = std::function<bool(const Netlist&)>;
+
+struct ShrinkOptions {
+  /// Predicate-evaluation budget. Each candidate netlist costs one check;
+  /// exhausting the budget stops the shrink at the best netlist so far
+  /// (one_minimal stays false).
+  int max_checks = 4000;
+};
+
+struct ShrinkResult {
+  Netlist netlist;        ///< smallest netlist still satisfying the predicate
+  int checks = 0;         ///< predicate evaluations spent
+  int removed = 0;        ///< nodes removed from the original
+  /// True when a full pass over the final netlist removed nothing (within
+  /// budget): no single node removal preserves the predicate.
+  bool one_minimal = false;
+};
+
+/// Requires `start` finalized and satisfying the predicate (throws
+/// AssertionError otherwise — a shrink of a non-failing input is a harness
+/// bug, not a fuzzing outcome).
+ShrinkResult shrink_netlist(const Netlist& start,
+                            const ShrinkPredicate& still_fails,
+                            ShrinkOptions options = {});
+
+}  // namespace serelin

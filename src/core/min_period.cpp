@@ -79,7 +79,7 @@ MinPeriodRetimer::Result MinPeriodRetimer::minimize() const {
     hi = std::max(hi, timing.arrival(v) + opt_.setup);
     lo = std::max(lo, g_->vertex(v).delay + opt_.setup);
   }
-  Result best{hi, zero, StopReason::kNone};
+  Result best{hi, zero, StopReason::kNone, {}};
   if (auto r = retime_for_period(hi, zero)) best.r = std::move(*r);
   for (;;) {
     // Checked before the convergence test: an already-expired deadline
@@ -88,13 +88,17 @@ MinPeriodRetimer::Result MinPeriodRetimer::minimize() const {
     if (const StopReason sr = opt_.deadline.status();
         sr != StopReason::kNone) {
       best.stop_reason = sr;  // best-so-far: r achieves best.period
+      best.stop_detail = std::string(stop_reason_name(sr)) +
+                         " during min-period binary search; best feasible "
+                         "period " +
+                         std::to_string(best.period);
       return best;
     }
     if (hi - lo <= opt_.tolerance) return best;
     const double mid = 0.5 * (lo + hi);
     if (auto r = retime_for_period(mid, zero)) {
       hi = mid;
-      best = Result{mid, std::move(*r), StopReason::kNone};
+      best = Result{mid, std::move(*r), StopReason::kNone, {}};
     } else {
       lo = mid;
     }

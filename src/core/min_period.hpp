@@ -12,6 +12,7 @@
 #pragma once
 
 #include <optional>
+#include <string>
 
 #include "rgraph/retiming_graph.hpp"
 #include "support/deadline.hpp"
@@ -47,6 +48,10 @@ class MinPeriodRetimer {
     /// kNone: converged to tolerance. Otherwise the search stopped early;
     /// `r` still legally achieves `period` (it may just not be minimal).
     StopReason stop_reason = StopReason::kNone;
+    /// Human-readable account of an early stop; non-empty whenever
+    /// stop_reason != kNone, so callers (in particular the differential
+    /// harness) can tell a timeout from a genuine solver divergence.
+    std::string stop_detail;
 
     bool partial() const { return stop_reason != StopReason::kNone; }
   };

@@ -233,9 +233,13 @@ void RegularForest::add_constraint(VertexId p, VertexId q,
     return;
   }
 
-  if (w_[q] != needed) {
+  if (w_[q] < needed) {
     // The paper's "w(q) requires update" path: BreakTree, then relink with
-    // the new weight.
+    // the new weight. Only *raise* weights: a constraint demands q move at
+    // least `needed` alongside p, so a larger current weight already
+    // satisfies it. Lowering on mismatch livelocks when two sources fold
+    // incomparable demands for the same q — each relink undoes the other
+    // (found by fuzz_solvers; see tests/corpus/found).
     if (!is_singleton(q)) break_tree(q);
     set_weight(q, needed);
   } else if (same_tree(p, q)) {

@@ -374,6 +374,10 @@ WdQueryMinPeriodResult wd_query_min_period(const RetimingGraph& g,
     while (lo < hi) {
       if (const StopReason sr = deadline.status(); sr != StopReason::kNone) {
         out.stop_reason = sr;
+        out.stop_detail = std::string(stop_reason_name(sr)) +
+                          " during dense candidate binary search; best "
+                          "feasible period " +
+                          std::to_string(out.period);
         return out;
       }
       const std::size_t mid = (lo + hi) / 2;
@@ -418,6 +422,9 @@ WdQueryMinPeriodResult wd_query_min_period(const RetimingGraph& g,
   while (llo < lhi) {
     if (const StopReason sr = deadline.status(); sr != StopReason::kNone) {
       out.stop_reason = sr;
+      out.stop_detail = std::string(stop_reason_name(sr)) +
+                        " during lazy ladder search; best feasible period " +
+                        std::to_string(out.period);
       return out;
     }
     const std::size_t mid = (llo + lhi) / 2;
@@ -441,6 +448,10 @@ WdQueryMinPeriodResult wd_query_min_period(const RetimingGraph& g,
   while (out.period - lo > mp.tolerance) {
     if (const StopReason sr = deadline.status(); sr != StopReason::kNone) {
       out.stop_reason = sr;
+      out.stop_detail = std::string(stop_reason_name(sr)) +
+                        " during lazy period refinement; best feasible "
+                        "period " +
+                        std::to_string(out.period);
       return out;
     }
     const double mid = 0.5 * (lo + out.period);

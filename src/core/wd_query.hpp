@@ -37,6 +37,7 @@
 #include <limits>
 #include <memory>
 #include <optional>
+#include <string>
 #include <vector>
 
 #include "rgraph/retiming_graph.hpp"
@@ -129,6 +130,10 @@ struct WdQueryMinPeriodResult {
   /// it is the ladder + FEAS upper bound of the lazy engine.
   bool exact = false;
   StopReason stop_reason = StopReason::kNone;
+  /// Human-readable account of an early stop; non-empty whenever
+  /// stop_reason != kNone (timeout must stay distinguishable from a wrong
+  /// answer in differential comparisons).
+  std::string stop_detail;
 
   bool partial() const { return stop_reason != StopReason::kNone; }
 };

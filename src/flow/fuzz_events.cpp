@@ -1,0 +1,44 @@
+#include "flow/fuzz_events.hpp"
+
+namespace serelin {
+
+void journal_fuzz_iteration(RunJournal& journal,
+                            const FuzzIterationEvent& ev) {
+  JsonObject obj;
+  obj.set("event", "fuzz_iteration")
+      .set("iteration", ev.iteration)
+      .set("mode", ev.mode)
+      .set("circuit_seed", std::to_string(ev.circuit_seed))
+      .set("gates", ev.gates)
+      .set("dffs", ev.dffs)
+      .set("verdict", ev.verdict)
+      .set("divergences", ev.divergences);
+  journal.write(obj);
+}
+
+void journal_fuzz_divergence(RunJournal& journal, std::int64_t iteration,
+                             const Divergence& divergence,
+                             const std::string& corpus_path) {
+  JsonObject obj;
+  obj.set("event", "fuzz_divergence")
+      .set("iteration", iteration)
+      .set("kind", divergence.kind)
+      .set("detail", divergence.detail)
+      .set("corpus_path", corpus_path);
+  journal.write(obj);
+}
+
+void journal_fuzz_shrink(RunJournal& journal, std::int64_t iteration,
+                         std::int64_t from_nodes, std::int64_t to_nodes,
+                         std::int64_t checks, bool one_minimal) {
+  JsonObject obj;
+  obj.set("event", "fuzz_shrink")
+      .set("iteration", iteration)
+      .set("from_nodes", from_nodes)
+      .set("to_nodes", to_nodes)
+      .set("checks", checks)
+      .set("one_minimal", one_minimal);
+  journal.write(obj);
+}
+
+}  // namespace serelin

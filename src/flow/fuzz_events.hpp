@@ -1,0 +1,46 @@
+// Journal events of a differential-fuzzing run (tools/fuzz_solvers).
+//
+// Same contract as the pipeline journal: one JSONL object per event,
+// flushed as it happens, so a fuzzing run killed mid-campaign still leaves
+// a complete record of every iteration, divergence and shrink it
+// performed. Events carry the iteration index and the circuit seed — never
+// wall-clock timestamps — so a journal line alone reproduces its
+// iteration. The schema is documented in docs/ROBUSTNESS.md
+// ("Differential fuzzing").
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "check/differential.hpp"
+#include "flow/journal.hpp"
+
+namespace serelin {
+
+/// One fuzzing iteration: what was generated and what the harness said.
+struct FuzzIterationEvent {
+  std::int64_t iteration = 0;
+  std::string mode;               ///< generator mode name
+  std::uint64_t circuit_seed = 0; ///< RandomCircuitSpec::seed actually used
+  int gates = 0;
+  int dffs = 0;
+  std::string verdict;  ///< DifferentialReport::summary()
+  std::int64_t divergences = 0;
+};
+
+void journal_fuzz_iteration(RunJournal& journal,
+                            const FuzzIterationEvent& ev);
+
+/// One divergence, written after shrinking and corpus persistence.
+/// `corpus_path` is empty when persistence failed or was disabled.
+void journal_fuzz_divergence(RunJournal& journal, std::int64_t iteration,
+                             const Divergence& divergence,
+                             const std::string& corpus_path);
+
+/// One shrink: node counts before/after, predicate checks spent, and
+/// whether the fixpoint (1-minimality) was reached within budget.
+void journal_fuzz_shrink(RunJournal& journal, std::int64_t iteration,
+                         std::int64_t from_nodes, std::int64_t to_nodes,
+                         std::int64_t checks, bool one_minimal);
+
+}  // namespace serelin

@@ -193,4 +193,83 @@ Netlist generate_random_circuit(const RandomCircuitSpec& spec) {
   return nl;
 }
 
+const char* generator_mode_name(GeneratorMode mode) {
+  switch (mode) {
+    case GeneratorMode::kUniform: return "uniform";
+    case GeneratorMode::kSkewedFanin: return "skewed-fanin";
+    case GeneratorMode::kRegisterDense: return "register-dense";
+    case GeneratorMode::kNearCritical: return "near-critical";
+  }
+  return "unknown";
+}
+
+std::optional<GeneratorMode> parse_generator_mode(std::string_view name) {
+  for (int m = 0; m < kNumGeneratorModes; ++m) {
+    const auto mode = static_cast<GeneratorMode>(m);
+    if (name == generator_mode_name(mode)) return mode;
+  }
+  return std::nullopt;
+}
+
+RandomCircuitSpec random_spec(GeneratorMode mode, Rng& rng,
+                              const SpecRanges& ranges) {
+  SERELIN_REQUIRE(ranges.min_gates >= 1 && ranges.max_gates >= ranges.min_gates,
+                  "spec ranges need 1 <= min_gates <= max_gates");
+  RandomCircuitSpec spec;
+  const int gates =
+      static_cast<int>(rng.range(ranges.min_gates, ranges.max_gates));
+  spec.gates = gates;
+  spec.name = std::string("fuzz-") + generator_mode_name(mode);
+  spec.inputs = 2 + static_cast<int>(rng.range(0, 4));
+  spec.outputs = 1 + static_cast<int>(rng.range(0, 3));
+  spec.seed = rng.next();
+  switch (mode) {
+    case GeneratorMode::kUniform:
+      spec.dffs = std::max(1, gates / static_cast<int>(rng.range(2, 6)));
+      spec.mean_fanin = 1.2 + 1.6 * rng.uniform();
+      spec.locality = 0.3 + 0.6 * rng.uniform();
+      spec.window = 4 + static_cast<int>(rng.range(0, 24));
+      spec.dff_chain_prob = 0.2 * rng.uniform();
+      spec.xor_share = 0.5 * rng.uniform();
+      spec.pipeline_prob = 0.2 + 0.4 * rng.uniform();
+      break;
+    case GeneratorMode::kSkewedFanin:
+      // Fanin pinned near the cap with a tiny reuse window: a few hub
+      // signals collect most of the fanout, so W/D rows are wide and the
+      // forest sees many simultaneous dependency sources.
+      spec.dffs = std::max(1, gates / 4);
+      spec.mean_fanin = 2.7 + 0.3 * rng.uniform();
+      spec.locality = 0.85 + 0.1 * rng.uniform();
+      spec.window = 2 + static_cast<int>(rng.range(0, 3));
+      spec.dff_chain_prob = 0.05;
+      spec.xor_share = 0.3 * rng.uniform();
+      spec.pipeline_prob = 0.25 + 0.25 * rng.uniform();
+      break;
+    case GeneratorMode::kRegisterDense:
+      // As many registers as the pin budget supports: big movable register
+      // populations, long shift chains, busy ELW interval sets.
+      spec.dffs = std::max(2, gates - static_cast<int>(rng.range(0, 4)));
+      spec.mean_fanin = 1.4 + 0.8 * rng.uniform();
+      spec.locality = 0.5 + 0.3 * rng.uniform();
+      spec.window = 6 + static_cast<int>(rng.range(0, 10));
+      spec.dff_chain_prob = 0.3 + 0.3 * rng.uniform();
+      spec.xor_share = 0.4 * rng.uniform();
+      spec.pipeline_prob = 0.6 + 0.3 * rng.uniform();
+      break;
+    case GeneratorMode::kNearCritical:
+      // Deep unpipelined chains: the unretimed critical path dominates,
+      // Φ sits near it after the Section-V relaxation, and the period /
+      // ELW constraints bind on most candidate moves.
+      spec.dffs = std::max(1, gates / 8);
+      spec.mean_fanin = 1.1 + 0.5 * rng.uniform();
+      spec.locality = 0.92 + 0.07 * rng.uniform();
+      spec.window = 2 + static_cast<int>(rng.range(0, 2));
+      spec.dff_chain_prob = 0.05;
+      spec.xor_share = 0.2 * rng.uniform();
+      spec.pipeline_prob = 0.05 + 0.1 * rng.uniform();
+      break;
+  }
+  return spec;
+}
+
 }  // namespace serelin

@@ -10,8 +10,11 @@
 #pragma once
 
 #include <cstdint>
+#include <optional>
+#include <string_view>
 
 #include "netlist/netlist.hpp"
+#include "support/rng.hpp"
 
 namespace serelin {
 
@@ -49,5 +52,41 @@ struct RandomCircuitSpec {
 /// Generates a finalized netlist satisfying the spec. Deterministic in the
 /// spec (including the seed).
 Netlist generate_random_circuit(const RandomCircuitSpec& spec);
+
+/// Constrained generator modes for adversarial (differential-fuzzing)
+/// circuit populations. Each mode biases the spec toward a structural
+/// regime that stresses a different part of the solver stack.
+enum class GeneratorMode : std::uint8_t {
+  kUniform,        ///< all knobs drawn uniformly from their sane ranges
+  kSkewedFanin,    ///< fanin near the 3.0 cap, tiny locality window —
+                   ///< dense retiming-graph edge sets, wide W/D rows
+  kRegisterDense,  ///< #FF ≈ gate count, heavy pipelining — large movable
+                   ///< register populations and busy ELW interval sets
+  kNearCritical,   ///< long unpipelined chains — the initial period sits
+                   ///< near the critical path, so P1'/P2' bind tightly
+};
+
+/// Number of generator modes (for round-robin sweeps).
+inline constexpr int kNumGeneratorModes = 4;
+
+/// Stable name: "uniform" / "skewed-fanin" / "register-dense" /
+/// "near-critical" (used by CLI flags and journals).
+const char* generator_mode_name(GeneratorMode mode);
+
+/// Parses a mode name; nullopt on an unknown one.
+std::optional<GeneratorMode> parse_generator_mode(std::string_view name);
+
+/// Size bounds for random_spec(). Gate counts are drawn from
+/// [min_gates, max_gates]; the other populations scale from the draw.
+struct SpecRanges {
+  int min_gates = 8;
+  int max_gates = 40;
+};
+
+/// Draws a RandomCircuitSpec for `mode` from `rng` (deterministic in the
+/// rng state). The spec's own seed is drawn too, so a single stream value
+/// reproduces the circuit exactly.
+RandomCircuitSpec random_spec(GeneratorMode mode, Rng& rng,
+                              const SpecRanges& ranges = {});
 
 }  // namespace serelin

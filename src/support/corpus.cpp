@@ -1,0 +1,57 @@
+#include "support/corpus.hpp"
+
+#include <filesystem>
+#include <fstream>
+
+namespace serelin {
+
+namespace fs = std::filesystem;
+
+std::uint64_t content_hash(std::string_view text) {
+  std::uint64_t h = 0xcbf29ce484222325ULL;  // FNV offset basis
+  for (const char c : text) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 0x100000001b3ULL;  // FNV prime
+  }
+  return h;
+}
+
+std::string hash_hex(std::uint64_t h) {
+  static const char* kDigits = "0123456789abcdef";
+  std::string s(16, '0');
+  for (int i = 15; i >= 0; --i) {
+    s[static_cast<std::size_t>(i)] = kDigits[h & 0xf];
+    h >>= 4;
+  }
+  return s;
+}
+
+PersistResult persist_counterexample(const std::string& dir,
+                                     const std::string& prefix,
+                                     const std::string& ext,
+                                     const std::string& text,
+                                     const std::string& sidecar) {
+  PersistResult out;
+  std::error_code ec;
+  fs::create_directories(dir, ec);
+  const fs::path file =
+      fs::path(dir) / (prefix + "-" + hash_hex(content_hash(text)) + ext);
+  if (fs::exists(file, ec)) {
+    out.path = file.string();
+    out.deduplicated = true;
+    return out;
+  }
+  {
+    std::ofstream o(file, std::ios::binary);
+    o << text;
+    if (!o) return out;  // path stays empty: persistence failed
+  }
+  {
+    std::ofstream o(file.string() + ".repro", std::ios::binary);
+    o << sidecar;
+  }
+  out.path = file.string();
+  return out;
+}
+
+}  // namespace serelin

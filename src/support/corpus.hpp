@@ -1,0 +1,42 @@
+// Counterexample-corpus persistence shared by the robustness harnesses
+// (tools/fault_harness, tools/fuzz_solvers).
+//
+// Every persisted counterexample is named by a stable content hash of its
+// payload, so re-finding the same input — across CI runs, seeds, or
+// machines — lands on the same file name and the corpus never accumulates
+// duplicate repros. A sidecar `<name>.repro` carries the reproduction
+// recipe (free-form key: value lines; the fuzz harness additionally stores
+// a replayable config block, see docs/ROBUSTNESS.md §10).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace serelin {
+
+/// FNV-1a 64-bit over `text`. Stable across platforms and runs (no seed),
+/// which is exactly what corpus dedup needs; not cryptographic.
+std::uint64_t content_hash(std::string_view text);
+
+/// Lower-case 16-hex-digit rendering of a hash.
+std::string hash_hex(std::uint64_t h);
+
+struct PersistResult {
+  std::string path;     ///< full path of the persisted (or existing) file
+  bool deduplicated = false;  ///< an identical entry already existed
+};
+
+/// Writes `text` to `<dir>/<prefix>-<hash16><ext>` (creating `dir` as
+/// needed) and `sidecar` to `<file>.repro`. When the target file already
+/// exists with any content (hash collisions on equal names are treated as
+/// the same finding), nothing is rewritten and `deduplicated` is true.
+/// `ext` includes the dot (".bench"). Never throws: filesystem errors are
+/// reported by an empty `path`.
+PersistResult persist_counterexample(const std::string& dir,
+                                     const std::string& prefix,
+                                     const std::string& ext,
+                                     const std::string& text,
+                                     const std::string& sidecar);
+
+}  // namespace serelin

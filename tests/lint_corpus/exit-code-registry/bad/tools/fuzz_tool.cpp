@@ -1,0 +1,8 @@
+// Fixture: a second tool whose codes are all documented — only
+// serelin_cli.cpp's undocumented 65 may be reported, exactly once.
+#include <cstdlib>
+
+int scan(int argc) {
+  if (argc < 2) return 64;
+  return 0;
+}

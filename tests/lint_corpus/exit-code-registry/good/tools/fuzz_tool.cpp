@@ -1,0 +1,8 @@
+// Fixture: a second tool — the registry rule unions codes over every
+// tools/*.cpp, so 77 here must be documented just like serelin_cli's codes.
+#include <cstdlib>
+
+int scan(int divergences) {
+  if (divergences > 0) return 77;
+  return 0;
+}

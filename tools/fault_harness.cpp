@@ -28,8 +28,9 @@
 // Counterexample persistence: before each iteration's battery runs, the
 // corrupted input is written to <corpus>/pending-seed<S>-iter<N>.<ext>
 // (default corpus: tests/corpus/found). A clean iteration removes it; a
-// detected failure renames it to crash-...<ext> and writes a .repro
-// sidecar with the reproduction command; a hard crash or hang leaves the
+// detected failure persists it as crash-<contenthash16>.<ext> (so repeated
+// CI runs dedupe onto one entry per distinct input) with a .repro sidecar
+// carrying the reproduction command; a hard crash or hang leaves the
 // pending file itself behind as the artifact. `--replay DIR` re-runs the
 // same battery (no mutation) over every .bench/.blif file in DIR, so
 // persisted counterexamples double as a regression corpus.
@@ -54,6 +55,7 @@
 #include "rgraph/retiming_graph.hpp"
 #include "sim/observability.hpp"
 #include "support/check.hpp"
+#include "support/corpus.hpp"
 #include "support/deadline.hpp"
 #include "support/rng.hpp"
 #include "support/strings.hpp"
@@ -326,16 +328,23 @@ bool run_iteration(const HarnessOptions& opt, int iter, Tally& tally) {
     fs::remove(pending, ec);
     return true;
   }
-  const fs::path kept = fs::path(opt.corpus) / ("crash-" + stem);
-  fs::rename(pending, kept, ec);
-  std::ofstream repro(kept.string() + ".repro");
-  repro << "phase: " << failure.phase << "\n"
-        << "what: " << failure.what << "\n"
-        << "reproduce: fault_harness --seed " << opt.seed << " --iters "
-        << (iter + 1) << (opt.verify ? " --verify" : "") << "\n"
-        << "replay: fault_harness --replay " << opt.corpus
-        << (opt.verify ? " --verify" : "") << "\n";
-  std::fprintf(stderr, "  counterexample: %s\n", kept.string().c_str());
+  // Persist under a content-hash-derived name: the same counterexample
+  // re-found by another seed or CI run dedupes onto one corpus entry.
+  std::string sidecar;
+  sidecar += "phase: " + failure.phase + "\n";
+  sidecar += "what: " + failure.what + "\n";
+  sidecar += "reproduce: fault_harness --seed " + std::to_string(opt.seed) +
+             " --iters " + std::to_string(iter + 1) +
+             (opt.verify ? " --verify" : "") + "\n";
+  sidecar += std::string("replay: fault_harness --replay ") + opt.corpus +
+             (opt.verify ? " --verify" : "") + "\n";
+  const PersistResult kept = persist_counterexample(
+      opt.corpus, "crash", use_blif ? ".blif" : ".bench", text, sidecar);
+  if (!kept.path.empty()) fs::remove(pending, ec);
+  std::fprintf(stderr, "  counterexample: %s%s\n",
+               kept.path.empty() ? pending.string().c_str()
+                                 : kept.path.c_str(),
+               kept.deduplicated ? " (already in corpus)" : "");
   return false;
 }
 

@@ -532,34 +532,45 @@ void rules_diag_codes(const std::vector<SourceFile>& files,
 
 void rule_exit_codes(const std::vector<SourceFile>& files,
                      const fs::path& root, std::vector<Finding>& out) {
-  const SourceFile* cli = find_file(files, "tools/serelin_cli.cpp");
-  if (!cli) return;
   const fs::path doc_path = root / "docs" / "ROBUSTNESS.md";
   if (!fs::exists(doc_path)) return;
 
-  // Exit codes the CLI actually uses: literal `return NN;` / `exit(NN)`
-  // with NN in the sysexits-style band the registry documents.
-  std::map<int, int> used;  // code -> first line
-  for (std::size_t li = 0; li < cli->code.size(); ++li) {
-    const std::string& line = cli->code[li];
-    for (const char* kw : {"return", "exit"}) {
-      std::size_t pos = find_token(line, kw);
-      while (pos != std::string::npos) {
-        std::size_t i = skip_spaces(line, pos + std::string(kw).size());
-        if (i < line.size() && line[i] == '(') i = skip_spaces(line, i + 1);
-        std::string digits;
-        while (i < line.size() &&
-               std::isdigit(static_cast<unsigned char>(line[i])))
-          digits += line[i++];
-        if (digits.size() == 2) {
-          const int code = std::stoi(digits);
-          if (code >= 64 && code <= 78)
-            used.emplace(code, static_cast<int>(li + 1));
+  // Exit codes any tool actually uses: literal `return NN;` / `exit(NN)`
+  // with NN in the sysexits-style band the registry documents. Every
+  // tools/*.cpp participates — the registry is one shared namespace, so a
+  // new tool inventing an undocumented code (or reusing a documented one
+  // for a different meaning) is exactly what this rule must catch.
+  struct Use {
+    const SourceFile* file;
+    int line;
+  };
+  std::map<int, Use> used;  // code -> first use
+  bool any_tool = false;
+  for (const SourceFile& f : files) {
+    if (f.rel.rfind("tools/", 0) != 0 || !f.rel.ends_with(".cpp")) continue;
+    any_tool = true;
+    for (std::size_t li = 0; li < f.code.size(); ++li) {
+      const std::string& line = f.code[li];
+      for (const char* kw : {"return", "exit"}) {
+        std::size_t pos = find_token(line, kw);
+        while (pos != std::string::npos) {
+          std::size_t i = skip_spaces(line, pos + std::string(kw).size());
+          if (i < line.size() && line[i] == '(') i = skip_spaces(line, i + 1);
+          std::string digits;
+          while (i < line.size() &&
+                 std::isdigit(static_cast<unsigned char>(line[i])))
+            digits += line[i++];
+          if (digits.size() == 2) {
+            const int code = std::stoi(digits);
+            if (code >= 64 && code <= 78)
+              used.emplace(code, Use{&f, static_cast<int>(li + 1)});
+          }
+          pos = find_token(line, kw, pos + 1);
         }
-        pos = find_token(line, kw, pos + 1);
       }
     }
   }
+  if (!any_tool) return;
 
   // Documented codes: `| NN |` table rows in ROBUSTNESS.md.
   std::map<int, int> documented;  // code -> line
@@ -582,9 +593,9 @@ void rule_exit_codes(const std::vector<SourceFile>& files,
     }
   }
 
-  for (const auto& [code, uline] : used) {
+  for (const auto& [code, use] : used) {
     if (documented.count(code)) continue;
-    report(out, *cli, uline, "exit-code-registry",
+    report(out, *use.file, use.line, "exit-code-registry",
            "exit code " + std::to_string(code) +
                " is not in the docs/ROBUSTNESS.md registry table");
   }
@@ -592,7 +603,7 @@ void rule_exit_codes(const std::vector<SourceFile>& files,
     if (used.count(code)) continue;
     out.push_back({"docs/ROBUSTNESS.md", dline, "exit-code-registry",
                    "documented exit code " + std::to_string(code) +
-                       " is never produced by tools/serelin_cli.cpp"});
+                       " is never produced by any tools/*.cpp"});
   }
 }
 

@@ -9,13 +9,15 @@
 #   tsan      parallel determinism + tracer suites under ThreadSanitizer
 #   asan      full suite under ASan+UBSan
 #   fault     seeded fault-injection smoke + corpus replay under ASan+UBSan
+#   fuzzdiff  differential solver fuzzing: self-check, fixed-seed sweep,
+#             committed-corpus replay under ASan+UBSan
 #
 #   tools/verify.sh [--fast] [--skip-static] [--skip-tsan] [--skip-asan]
 #                   [--stage NAME]...
 #
 # --stage may repeat; without it every stage runs (minus the --skip-*
-# ones; --skip-asan also skips the fault stage, which needs the ASan
-# build). --fast restricts ctest to the `fast` label (the
+# ones; --skip-asan also skips the fault and fuzzdiff stages, which need
+# the ASan build). --fast restricts ctest to the `fast` label (the
 # exhaustive-optimality and end-to-end suites are labelled `slow`; see
 # tests/CMakeLists.txt). Run from the repository root. Exits non-zero on
 # the first failure.
@@ -45,7 +47,8 @@ while [[ $# -gt 0 ]]; do
       STAGES+=("$2")
       shift ;;
     *) echo "usage: tools/verify.sh [--fast] [--skip-static] [--skip-tsan]" \
-            "[--skip-asan] [--stage static|tier1|examples|tsan|asan|fault]..." >&2
+            "[--skip-asan]" \
+            "[--stage static|tier1|examples|tsan|asan|fault|fuzzdiff]..." >&2
        exit 64 ;;
   esac
   shift
@@ -56,7 +59,7 @@ if [[ ${#STAGES[@]} -eq 0 ]]; then
   [[ "$SKIP_STATIC" == 1 ]] || STAGES+=(static)
   STAGES+=(tier1 examples)
   [[ "$SKIP_TSAN" == 1 ]] || STAGES+=(tsan)
-  [[ "$SKIP_ASAN" == 1 ]] || STAGES+=(asan fault)
+  [[ "$SKIP_ASAN" == 1 ]] || STAGES+=(asan fault fuzzdiff)
 fi
 
 stage_static() {
@@ -166,6 +169,30 @@ stage_fault() {
   ./build-asan/tools/fault_harness --verify --replay tests/corpus/found/
 }
 
+stage_fuzzdiff() {
+  echo "== fuzzdiff: differential solver fuzzing under ASan+UBSan =="
+  cmake -B build-asan -S . -DSERELIN_ASAN=ON > /dev/null
+  cmake --build build-asan -j"$(nproc)" --target fuzz_solvers
+  # 1/3 — self-check: plant ten known faults and demand >= 9 catches, each
+  # shrunk to a small counterexample; proves the harness's detection power
+  # before a clean sweep is allowed to mean anything (docs/ROBUSTNESS.md §10).
+  ./build-asan/tools/fuzz_solvers --self-check \
+      --corpus build-asan/fuzz-selfcheck-corpus
+  # 2/3 — fixed-seed clean sweep: every solver engine must agree on every
+  # generated circuit. Deterministic in the seed; SERELIN_FUZZ_* lets the
+  # nightly job scale the campaign up without editing this script. A
+  # divergence exits 77 and persists its shrunk repro in tests/corpus/found/.
+  ./build-asan/tools/fuzz_solvers \
+      --seed "${SERELIN_FUZZ_SEED:-1}" \
+      --iters "${SERELIN_FUZZ_ITERS:-400}" \
+      --max-seconds "${SERELIN_FUZZ_SECONDS:-90}" \
+      --corpus tests/corpus/found
+  # 3/3 — committed-corpus replay: every promoted counterexample must still
+  # match its sidecar's expect: line (a fixed divergence prints FIXED and
+  # stays green; an expected-clean entry that diverges again exits 77).
+  ./build-asan/tools/fuzz_solvers --replay tests/corpus/found
+}
+
 for stage in "${STAGES[@]}"; do
   case "$stage" in
     static) stage_static ;;
@@ -174,6 +201,7 @@ for stage in "${STAGES[@]}"; do
     tsan) stage_tsan ;;
     asan) stage_asan ;;
     fault) stage_fault ;;
+    fuzzdiff) stage_fuzzdiff ;;
     *) echo "verify: unknown stage '$stage'" >&2; exit 64 ;;
   esac
 done
