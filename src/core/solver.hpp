@@ -15,6 +15,14 @@
 //      vertex). Loop to 1.
 //   4. No violation: commit the move (one paper-iteration "#J") and loop.
 //
+// A P2' violation admits two monotone resolutions (push the boundary
+// register past its head, or drain the launching register through the
+// short path's head); the checker's primary choice is an implication only
+// until it chains into an immovable vertex. Converged 0-commit passes
+// therefore re-seed with the blocked-tree vertices as avoid-hints, letting
+// the next pass fold the drain alternate where the primary dead-ended
+// (restores agreement with the exhaustive reference on the corpus freeze).
+//
 // Every committed retiming is feasible and strictly improves the K-scaled
 // objective Σ b(v)·Δ(v); the objective is bounded, so commits are finite;
 // between commits the forest monotonically consumes constraint events, with
@@ -30,9 +38,13 @@
 
 #include <cstdint>
 #include <string>
+#include <string_view>
+#include <vector>
 
 #include "core/objective.hpp"
+#include "core/regular_forest.hpp"
 #include "rgraph/retiming_graph.hpp"
+#include "support/checkpoint.hpp"
 #include "support/deadline.hpp"
 #include "timing/params.hpp"
 
@@ -52,6 +64,11 @@ struct SolverOptions {
   /// checkpoints; on expiry they return the best feasible retiming found
   /// so far with stop_reason set (a Partial result), never an illegal one.
   Deadline deadline;
+  /// Durable progress snapshots (docs/ROBUSTNESS.md §11), threaded exactly
+  /// like the deadline: default-disabled, offered at every commit (a
+  /// feasible state), forced on an early stop. A SIGKILLed solve resumes
+  /// from the last snapshot and reaches the bit-identical final result.
+  CheckpointSink checkpoint;
 };
 
 struct SolverResult {
@@ -71,6 +88,25 @@ struct SolverResult {
   bool partial() const { return stop_reason != StopReason::kNone; }
 };
 
+/// Complete mid-solve state of MinObsWinSolver, as serialized into the
+/// "solver" section of a checkpoint (support/checkpoint.hpp): the committed
+/// retiming plus everything the remaining computation depends on. Timing
+/// labels are recomputed from `r` on resume; at a commit point no
+/// tentative move is in flight, so nothing else exists to save.
+struct SolverProgress {
+  Retiming r;                       ///< last committed (feasible) retiming
+  int commits = 0;                  ///< SolverResult counters so far
+  std::int64_t iterations = 0;
+  std::int64_t objective_gain = 0;
+  int pass_commits = 0;             ///< commits within the current pass
+  std::vector<char> avoid;          ///< re-seed hints (solve()'s avoid set)
+  ForestState forest;               ///< the current pass's forest
+
+  std::string encode() const;
+  /// Throws serelin::ParseError on truncated/garbled bytes.
+  static SolverProgress decode(std::string_view bytes);
+};
+
 class MinObsWinSolver {
  public:
   MinObsWinSolver(const RetimingGraph& g, const ObsGains& gains,
@@ -79,9 +115,27 @@ class MinObsWinSolver {
   /// Runs Algorithm 1 from the (feasible) initial retiming.
   SolverResult solve(const Retiming& initial) const;
 
+  /// Continues an interrupted solve from a SolverProgress snapshot,
+  /// reaching the bit-identical result the uninterrupted run would have
+  /// (the crash-harness contract). The caller is responsible for matching
+  /// the snapshot to this graph/options (the checkpoint fingerprint);
+  /// structurally impossible snapshots throw.
+  SolverResult resume(const SolverProgress& progress) const;
+
  private:
-  int run_pass(const class ConstraintChecker& checker,
-               class GraphTiming& timing, SolverResult& out) const;
+  void run_pass(const class ConstraintChecker& checker,
+                class GraphTiming& timing, SolverResult& out,
+                const std::vector<char>& avoid_q, std::vector<char>& frozen,
+                class RegularForest& forest, int& pass_commits) const;
+  SolverResult run_passes(const class ConstraintChecker& checker,
+                          class GraphTiming& timing, SolverResult out,
+                          std::vector<char> avoid,
+                          class RegularForest* mid_pass_forest,
+                          int mid_pass_commits) const;
+  void offer_checkpoint(const SolverResult& out,
+                        const std::vector<char>& avoid,
+                        const class RegularForest& forest, int pass_commits,
+                        bool force) const;
 
   const RetimingGraph* g_;
   const ObsGains* gains_;

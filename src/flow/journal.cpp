@@ -92,17 +92,59 @@ const std::string& JsonObject::str() const {
   return body_;
 }
 
-RunJournal::RunJournal(const std::string& path)
-    : path_(path), out_(path, std::ios::trunc), enabled_(true) {
-  if (!out_) throw Error("cannot open run journal for writing: " + path);
+std::optional<std::string> json_string_field(const std::string& record,
+                                             const std::string& key) {
+  const std::string needle = '"' + json_escape(key) + "\":\"";
+  const std::size_t at = record.find(needle);
+  if (at == std::string::npos) return std::nullopt;
+  std::string out;
+  for (std::size_t i = at + needle.size(); i < record.size(); ++i) {
+    const char c = record[i];
+    if (c == '"') return out;
+    if (c == '\\' && i + 1 < record.size()) {
+      const char e = record[++i];
+      switch (e) {
+        case 'n': out += '\n'; break;
+        case 'r': out += '\r'; break;
+        case 't': out += '\t'; break;
+        case 'u':
+          // \u00XX — JsonObject only emits control bytes this way.
+          if (i + 4 < record.size()) {
+            const auto hex = [](char h) {
+              return h <= '9' ? h - '0' : (h | 0x20) - 'a' + 10;
+            };
+            out += static_cast<char>(hex(record[i + 3]) * 16 +
+                                     hex(record[i + 4]));
+            i += 4;
+          }
+          break;
+        default: out += e; break;
+      }
+    } else {
+      out += c;
+    }
+  }
+  return std::nullopt;  // unterminated string: not a field we wrote
 }
 
+std::optional<bool> json_bool_field(const std::string& record,
+                                    const std::string& key) {
+  const std::string needle = '"' + json_escape(key) + "\":";
+  const std::size_t at = record.find(needle);
+  if (at == std::string::npos) return std::nullopt;
+  const std::size_t v = at + needle.size();
+  if (record.compare(v, 4, "true") == 0) return true;
+  if (record.compare(v, 5, "false") == 0) return false;
+  return std::nullopt;
+}
+
+RunJournal::RunJournal(const std::string& path, JournalWriter::Mode mode)
+    : writer_(path, mode) {}
+
 void RunJournal::write(const JsonObject& obj) {
-  if (!enabled_ || !healthy_) return;
+  if (!writer_.enabled() || !writer_.healthy()) return;
   SERELIN_COUNT(kJournalWrites, 1);
-  out_ << obj.str() << '\n';
-  out_.flush();
-  if (!out_) healthy_ = false;  // disk full etc.: degrade, never abort a run
+  writer_.append(obj.str());
 }
 
 }  // namespace serelin

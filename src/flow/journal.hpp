@@ -6,6 +6,13 @@
 // complete trace of everything it tried. The schema is documented in
 // docs/ROBUSTNESS.md ("Run journal").
 //
+// Since the crash-safety work (docs/ROBUSTNESS.md §11) every record rides
+// inside a JournalWriter frame (length + CRC-32 + payload), fsynced as it
+// is appended: a SIGKILL mid-append leaves at most one torn trailing
+// frame, which recover_journal truncates away, so the surviving journal is
+// exactly the prefix of committed events — the property pipeline resume
+// replays to find the last completed stage.
+//
 // Failure policy: failing to *open* the journal is a hard error (the user
 // asked for a record we cannot produce); failing to *write* mid-run must
 // never take the solve down with it — the journal goes unhealthy, keeps
@@ -13,8 +20,10 @@
 #pragma once
 
 #include <cstdint>
-#include <fstream>
+#include <optional>
 #include <string>
+
+#include "support/atomic_io.hpp"
 
 namespace serelin {
 
@@ -47,30 +56,41 @@ class JsonObject {
 /// Escapes `s` for inclusion in a JSON string literal (without quotes).
 std::string json_escape(const std::string& s);
 
+/// Value of a top-level string field in a JsonObject-written record, or
+/// nullopt when absent. Not a general JSON parser: it relies on the
+/// journal's own writer emitting `"key":"value"` with JsonObject's
+/// escaping, which is all resume replay ever reads back.
+std::optional<std::string> json_string_field(const std::string& record,
+                                             const std::string& key);
+
+/// Same probe for a top-level true/false field.
+std::optional<bool> json_bool_field(const std::string& record,
+                                    const std::string& key);
+
 class RunJournal {
  public:
   /// Disabled journal: write() is a no-op, healthy() stays true.
   RunJournal() = default;
 
   /// Opens (truncates) `path` for writing. Throws serelin::Error when the
-  /// file cannot be opened.
-  explicit RunJournal(const std::string& path);
+  /// file cannot be opened. `mode` kAppend continues a recovered journal
+  /// after its last intact record (pipeline resume).
+  explicit RunJournal(const std::string& path,
+                      JournalWriter::Mode mode = JournalWriter::Mode::kTruncate);
 
-  bool enabled() const { return enabled_; }
+  bool enabled() const { return writer_.enabled(); }
 
   /// False once any write has failed; subsequent writes are swallowed.
-  bool healthy() const { return healthy_; }
+  bool healthy() const { return writer_.healthy(); }
 
-  const std::string& path() const { return path_; }
+  const std::string& path() const { return writer_.path(); }
 
-  /// Appends one JSONL line and flushes it (so partial runs journal).
+  /// Appends one framed JSONL record and fsyncs it (so partial runs
+  /// journal, and a crash tears at most the trailing frame).
   void write(const JsonObject& obj);
 
  private:
-  std::string path_;
-  std::ofstream out_;
-  bool enabled_ = false;
-  bool healthy_ = true;
+  JournalWriter writer_;
 };
 
 }  // namespace serelin

@@ -1,15 +1,22 @@
 #include "flow/pipeline.hpp"
 
+#include <bit>
 #include <cmath>
+#include <filesystem>
 #include <optional>
+#include <sstream>
+#include <tuple>
 #include <utility>
 
 #include "core/min_period.hpp"
 #include "core/objective.hpp"
 #include "flow/journal.hpp"
+#include "netlist/bench_io.hpp"
 #include "rgraph/retiming_graph.hpp"
 #include "sim/observability.hpp"
+#include "support/atomic_io.hpp"
 #include "support/check.hpp"
+#include "support/checkpoint.hpp"
 #include "support/metrics.hpp"
 #include "support/stopwatch.hpp"
 #include "support/trace.hpp"
@@ -80,15 +87,119 @@ void journal_attempt(RunJournal& journal, const StageAttempt& a,
   journal.write(o);
 }
 
+/// The checkpoint's "pipeline" context section: which stage/attempt the
+/// snapshot was taken inside.
+std::string encode_pipeline_section(int stage, int attempt) {
+  BinWriter w;
+  w.u32(static_cast<std::uint32_t>(stage));
+  w.u32(static_cast<std::uint32_t>(attempt));
+  return w.take();
+}
+
+std::pair<int, int> decode_pipeline_section(std::string_view bytes) {
+  BinReader rd(bytes);
+  const int stage = static_cast<int>(rd.u32());
+  const int attempt = static_cast<int>(rd.u32());
+  if (!rd.done())
+    throw ParseError("pipeline section: trailing bytes past the snapshot");
+  return {stage, attempt};
+}
+
 }  // namespace
+
+std::uint64_t pipeline_fingerprint(const Netlist& nl,
+                                   const PipelineOptions& options) {
+  // The exact circuit, via its canonical BENCH text, plus every option
+  // that can change the accepted result. Budgets (deadline, journal,
+  // checkpoint cadence) are deliberately excluded: they change *when*
+  // snapshots happen, never what a completed run computes.
+  std::ostringstream bench;
+  write_bench(bench, nl);
+  BinWriter w;
+  w.str(bench.str());
+  const auto f64 = [&w](double d) { w.u64(std::bit_cast<std::uint64_t>(d)); };
+  f64(options.init.setup);
+  f64(options.init.hold);
+  f64(options.init.epsilon);
+  w.i32(options.init.feas_passes);
+  w.u8(options.init.integer_period ? 1 : 0);
+  w.i32(options.sim.patterns);
+  w.i32(options.sim.frames);
+  w.i32(options.sim.warmup);
+  w.u64(options.sim.seed);
+  f64(options.period);
+  f64(options.rmin);
+  f64(options.area_weight);
+  w.u8(options.verify ? 1 : 0);
+  w.u8(static_cast<std::uint8_t>(options.start));
+  // FNV-1a 64 over the packed bytes: stable across platforms and runs.
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+  for (const char c : w.bytes()) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
 
 PipelineResult run_pipeline(const Netlist& nl, const CellLibrary& lib,
                             const PipelineOptions& options) {
   SERELIN_SPAN("pipeline/run");
   SERELIN_REQUIRE(nl.finalized(), "run_pipeline needs a finalized netlist");
-  RunJournal journal = options.journal_path.empty()
-                           ? RunJournal()
-                           : RunJournal(options.journal_path);
+
+  const bool wants_checkpoint =
+      !options.checkpoint_path.empty() || !options.resume_path.empty();
+  const std::uint64_t fingerprint =
+      wants_checkpoint ? pipeline_fingerprint(nl, options) : 0;
+
+  // Resume: load the snapshot (if one was ever written — a run killed
+  // before its first snapshot legitimately left none) and reject anything
+  // that does not belong to this exact circuit + these options.
+  CheckpointImage snapshot;
+  bool resuming = false;
+  int resume_stage = static_cast<int>(options.start);
+  int resume_attempt = 0;
+  if (!options.resume_path.empty() &&
+      load_checkpoint(options.resume_path, snapshot)) {
+    SERELIN_REQUIRE(snapshot.kind == "pipeline",
+                    "resume checkpoint has kind '" + snapshot.kind +
+                        "', expected 'pipeline'");
+    SERELIN_REQUIRE(snapshot.fingerprint == fingerprint,
+                    "resume checkpoint fingerprint mismatch: the snapshot "
+                    "belongs to a different circuit or pipeline options");
+    const std::string* ctx = snapshot.find("pipeline");
+    SERELIN_REQUIRE(ctx != nullptr,
+                    "resume checkpoint lacks its pipeline section");
+    std::tie(resume_stage, resume_attempt) = decode_pipeline_section(*ctx);
+    SERELIN_REQUIRE(resume_stage >= static_cast<int>(options.start) &&
+                        resume_stage <=
+                            static_cast<int>(PipelineStage::kIdentity),
+                    "resume checkpoint names an impossible stage");
+    resuming = true;
+  }
+
+  // A journal interrupted by a crash may carry a torn final record; recover
+  // (truncate to the last intact frame) before appending, and replay it so
+  // the resume event can record how far the dead run had journaled.
+  std::string journal_last_stage;
+  if (!options.journal_path.empty() &&
+      !options.resume_path.empty() &&
+      std::filesystem::exists(options.journal_path)) {
+    const JournalRecovery replay = recover_journal(options.journal_path);
+    for (const std::string& record : replay.records) {
+      const auto event = json_string_field(record, "event");
+      if (event && (*event == "attempt" || *event == "result")) {
+        if (const auto stage = json_string_field(record, "stage"))
+          journal_last_stage = *stage;
+      }
+    }
+  }
+  RunJournal journal =
+      options.journal_path.empty()
+          ? RunJournal()
+          : RunJournal(options.journal_path,
+                       options.resume_path.empty()
+                           ? JournalWriter::Mode::kTruncate
+                           : JournalWriter::Mode::kAppend);
   PipelineResult out;
   out.journal_path = options.journal_path;
 
@@ -102,6 +213,22 @@ PipelineResult run_pipeline(const Netlist& nl, const CellLibrary& lib,
         .set("deadline_s", options.deadline.remaining_seconds());
     journal.write(o);
   }
+  if (!options.resume_path.empty()) {
+    JsonObject o;
+    o.set("event", "resume")
+        .set("had_snapshot", resuming)
+        .set("stage",
+             pipeline_stage_name(static_cast<PipelineStage>(resume_stage)))
+        .set("attempt", resume_attempt);
+    if (!journal_last_stage.empty())
+      o.set("journal_stage", journal_last_stage);
+    journal.write(o);
+  }
+
+  CheckpointSink sink;
+  if (!options.checkpoint_path.empty())
+    sink = CheckpointSink(options.checkpoint_path, "pipeline", fingerprint,
+                          options.checkpoint_every);
 
   RetimingGraph g(nl, lib);
   InitOptions init_options = options.init;
@@ -137,8 +264,9 @@ PipelineResult run_pipeline(const Netlist& nl, const CellLibrary& lib,
     return *gains;
   };
 
-  auto run_stage = [&](PipelineStage stage,
-                       const Deadline& slice) -> StageCandidate {
+  auto run_stage = [&](PipelineStage stage, const Deadline& slice,
+                       const CheckpointSink& stage_sink,
+                       const std::string* solver_snapshot) -> StageCandidate {
     StageCandidate c;
     c.timing = timing;
     c.rmin = rmin;
@@ -151,8 +279,11 @@ PipelineResult run_pipeline(const Netlist& nl, const CellLibrary& lib,
         so.rmin = rmin;
         so.enforce_elw = stage == PipelineStage::kMinObsWin;
         so.deadline = slice;
+        so.checkpoint = stage_sink;
         MinObsWinSolver solver(g, stage_gains, so);
-        c.result = solver.solve(out.init.r);
+        c.result = solver_snapshot
+                       ? solver.resume(SolverProgress::decode(*solver_snapshot))
+                       : solver.solve(out.init.r);
         c.check_elw = so.enforce_elw && rmin > 0 && !c.result.exited_early;
         c.has_gains = true;
         break;
@@ -198,10 +329,17 @@ PipelineResult run_pipeline(const Netlist& nl, const CellLibrary& lib,
   };
 
   constexpr int kLast = static_cast<int>(PipelineStage::kIdentity);
-  for (int si = static_cast<int>(options.start); si <= kLast; ++si) {
+  // On resume the chain re-enters at the snapshot's stage/attempt; the
+  // first attempt of that stage continues from the solver's own progress
+  // section when the snapshot carries one (a stage-boundary snapshot does
+  // not, and the stage simply restarts — same result either way).
+  bool consume_snapshot = resuming;
+  for (int si = resuming ? resume_stage : static_cast<int>(options.start);
+       si <= kLast; ++si) {
     const PipelineStage stage = static_cast<PipelineStage>(si);
     const int stages_left = kLast - si + 1;
-    for (int attempt = 0; attempt < 2; ++attempt) {
+    for (int attempt = consume_snapshot ? resume_attempt : 0; attempt < 2;
+         ++attempt) {
       const double auto_budget =
           options.deadline.remaining_seconds() / stages_left;
       const double budget =
@@ -211,6 +349,21 @@ PipelineResult run_pipeline(const Netlist& nl, const CellLibrary& lib,
               : auto_budget * options.retry_factor;
       const Deadline slice = options.deadline.slice(budget);
       SERELIN_COUNT(kDeadlineSlices, 1);
+
+      // Snapshots written inside this attempt carry its stage/attempt as
+      // context; the attempt-entry force marks the stage boundary durably
+      // even if the solver below never offers.
+      CheckpointSink stage_sink;
+      if (sink.enabled()) {
+        stage_sink =
+            sink.with_section("pipeline", encode_pipeline_section(si, attempt));
+        stage_sink.force([](CheckpointImage&) {});
+      }
+      const std::string* solver_snapshot = nullptr;
+      if (consume_snapshot) {
+        consume_snapshot = false;
+        solver_snapshot = snapshot.find("solver");
+      }
 
       StageAttempt rec;
       rec.stage = stage;
@@ -222,7 +375,7 @@ PipelineResult run_pipeline(const Netlist& nl, const CellLibrary& lib,
       Stopwatch watch;
       try {
         SERELIN_SPAN(stage_span_name(stage));
-        candidate = run_stage(stage, slice);
+        candidate = run_stage(stage, slice, stage_sink, solver_snapshot);
       } catch (const CancelledError& e) {
         rec.errored = true;
         rec.error = e.what();

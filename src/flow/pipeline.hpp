@@ -77,6 +77,19 @@ struct PipelineOptions {
   /// First stage to try (earlier stages are skipped, e.g. kMinObs when
   /// the caller never wanted ELW constraints).
   PipelineStage start = PipelineStage::kMinObsWin;
+  /// Durable checkpoint file (docs/ROBUSTNESS.md §11); empty = no
+  /// checkpointing. The file always holds a complete snapshot: the stage /
+  /// attempt in flight plus the underlying solver's progress section.
+  std::string checkpoint_path;
+  /// Persist every K-th solver snapshot offer (plus the first and every
+  /// forced one). Deterministic, never wall-clock based.
+  int checkpoint_every = 16;
+  /// Existing checkpoint to resume from; empty = fresh run. The snapshot's
+  /// fingerprint must match this circuit + these options (else throws),
+  /// and the resumed run reaches the bit-identical accepted result the
+  /// uninterrupted one would have. When `journal_path` names an existing
+  /// journal, its (possibly torn) tail is recovered and appended to.
+  std::string resume_path;
 };
 
 /// One stage attempt, as journaled.
@@ -112,9 +125,17 @@ struct PipelineResult {
 };
 
 /// Runs the fallback chain on a finalized netlist. Throws only on caller
-/// errors (unopenable journal, unfinalized netlist) — budget exhaustion
-/// and rejected results degrade through the chain instead.
+/// errors (unopenable journal, unfinalized netlist, a resume checkpoint
+/// that does not belong to this input) — budget exhaustion and rejected
+/// results degrade through the chain instead.
 PipelineResult run_pipeline(const Netlist& nl, const CellLibrary& lib,
                             const PipelineOptions& options);
+
+/// Stable 64-bit digest of everything a pipeline checkpoint is valid for:
+/// the exact circuit plus every option that can change the result. Stamped
+/// into checkpoints and verified on resume, so a snapshot can never be
+/// replayed against a different input.
+std::uint64_t pipeline_fingerprint(const Netlist& nl,
+                                   const PipelineOptions& options);
 
 }  // namespace serelin

@@ -1,0 +1,84 @@
+#include "flow/resume_check.hpp"
+
+#include <cstring>
+#include <string>
+
+namespace serelin {
+
+namespace {
+
+bool fail(std::string* detail, const std::string& what) {
+  if (detail) *detail = what;
+  return false;
+}
+
+}  // namespace
+
+bool resume_matches_fresh(const PipelineResult& fresh,
+                          const PipelineResult& resumed,
+                          std::string* detail) {
+  if (fresh.ok != resumed.ok)
+    return fail(detail, "ok: fresh=" + std::to_string(fresh.ok) +
+                            " resumed=" + std::to_string(resumed.ok));
+  if (fresh.stage != resumed.stage)
+    return fail(detail,
+                std::string("stage: fresh=") + pipeline_stage_name(fresh.stage) +
+                    " resumed=" + pipeline_stage_name(resumed.stage));
+  if (fresh.solver.r != resumed.solver.r) {
+    for (std::size_t v = 0; v < fresh.solver.r.size(); ++v) {
+      if (v < resumed.solver.r.size() &&
+          fresh.solver.r[v] == resumed.solver.r[v])
+        continue;
+      return fail(detail,
+                  "retiming differs at vertex " + std::to_string(v) +
+                      ": fresh=" +
+                      (v < fresh.solver.r.size()
+                           ? std::to_string(fresh.solver.r[v])
+                           : "<absent>") +
+                      " resumed=" +
+                      (v < resumed.solver.r.size()
+                           ? std::to_string(resumed.solver.r[v])
+                           : "<absent>"));
+    }
+    return fail(detail, "retiming length: fresh=" +
+                            std::to_string(fresh.solver.r.size()) +
+                            " resumed=" +
+                            std::to_string(resumed.solver.r.size()));
+  }
+  if (fresh.solver.objective_gain != resumed.solver.objective_gain)
+    return fail(detail,
+                "objective_gain: fresh=" +
+                    std::to_string(fresh.solver.objective_gain) +
+                    " resumed=" +
+                    std::to_string(resumed.solver.objective_gain));
+  if (fresh.solver.commits != resumed.solver.commits)
+    return fail(detail,
+                "commits: fresh=" + std::to_string(fresh.solver.commits) +
+                    " resumed=" + std::to_string(resumed.solver.commits));
+  if (fresh.solver.iterations != resumed.solver.iterations)
+    return fail(detail,
+                "iterations: fresh=" +
+                    std::to_string(fresh.solver.iterations) + " resumed=" +
+                    std::to_string(resumed.solver.iterations));
+  if (fresh.solver.exited_early != resumed.solver.exited_early)
+    return fail(detail, "exited_early differs");
+  if (fresh.solver.stop_reason != resumed.solver.stop_reason)
+    return fail(detail, "stop_reason differs");
+  if (fresh.verdict.ok() != resumed.verdict.ok())
+    return fail(detail, "verdict differs");
+  // Bitwise on the IEEE representation, not an epsilon: the resumed run
+  // must take the exact same numeric path.
+  if (std::memcmp(&fresh.timing.period, &resumed.timing.period,
+                  sizeof(double)) != 0)
+    return fail(detail,
+                "period: fresh=" + std::to_string(fresh.timing.period) +
+                    " resumed=" + std::to_string(resumed.timing.period));
+  if (std::memcmp(&fresh.rmin, &resumed.rmin, sizeof(double)) != 0)
+    return fail(detail, "rmin differs");
+  if (fresh.degraded != resumed.degraded)
+    return fail(detail, "degraded differs");
+  if (detail) detail->clear();
+  return true;
+}
+
+}  // namespace serelin

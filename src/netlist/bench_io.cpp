@@ -6,6 +6,7 @@
 
 #include "netlist/builder.hpp"
 #include "netlist/io_common.hpp"
+#include "support/atomic_io.hpp"
 #include "support/check.hpp"
 #include "support/strings.hpp"
 
@@ -191,9 +192,9 @@ void write_bench(std::ostream& out, const Netlist& nl) {
 }
 
 void write_bench_file(const std::string& path, const Netlist& nl) {
-  std::ofstream out(path);
-  if (!out) throw ParseError("cannot write .bench file: " + path);
+  std::ostringstream out;
   write_bench(out, nl);
+  atomic_write_file(path, out.str());
 }
 
 }  // namespace serelin

@@ -7,6 +7,7 @@
 
 #include "netlist/builder.hpp"
 #include "netlist/io_common.hpp"
+#include "support/atomic_io.hpp"
 #include "support/check.hpp"
 #include "support/strings.hpp"
 
@@ -362,9 +363,9 @@ void write_blif(std::ostream& out, const Netlist& nl) {
 }
 
 void write_blif_file(const std::string& path, const Netlist& nl) {
-  std::ofstream out(path);
-  if (!out) throw ParseError("cannot write BLIF file: " + path);
+  std::ostringstream out;
   write_blif(out, nl);
+  atomic_write_file(path, out.str());
 }
 
 }  // namespace serelin

@@ -1,0 +1,300 @@
+#include "support/atomic_io.hpp"
+
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <array>
+#include <atomic>
+#include <cerrno>
+#include <csignal>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <iterator>
+#include <utility>
+
+#include "support/check.hpp"
+
+namespace serelin {
+
+namespace fs = std::filesystem;
+
+std::uint32_t crc32(std::string_view data) {
+  static const auto table = [] {
+    std::array<std::uint32_t, 256> t{};
+    for (std::uint32_t i = 0; i < 256; ++i) {
+      std::uint32_t c = i;
+      for (int k = 0; k < 8; ++k)
+        c = (c & 1u) ? 0xedb88320u ^ (c >> 1) : c >> 1;
+      t[i] = c;
+    }
+    return t;
+  }();
+  std::uint32_t c = 0xffffffffu;
+  for (const char ch : data)
+    c = table[(c ^ static_cast<unsigned char>(ch)) & 0xffu] ^ (c >> 8);
+  return c ^ 0xffffffffu;
+}
+
+namespace {
+
+std::atomic<std::int64_t> g_crash_countdown{0};  // <= 0: disarmed
+std::atomic<std::int64_t> g_crash_points{0};
+
+std::string temp_path(const std::string& path) { return path + ".tmp"; }
+
+/// write(2) the whole buffer, retrying on short writes / EINTR.
+bool write_all(int fd, const char* data, std::size_t size) noexcept {
+  while (size > 0) {
+    const ssize_t n = ::write(fd, data, size);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    data += n;
+    size -= static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+/// Best-effort fsync of the directory containing `path`, so the rename
+/// itself is durable. Failures are ignored: some filesystems refuse
+/// directory fsync, and the data-file fsync already happened.
+void sync_parent_dir(const std::string& path) noexcept {
+  const fs::path dir = fs::path(path).parent_path();
+  const std::string d = dir.empty() ? std::string(".") : dir.string();
+  const int fd = ::open(d.c_str(), O_RDONLY | O_DIRECTORY | O_CLOEXEC);
+  if (fd < 0) return;
+  ::fsync(fd);
+  ::close(fd);
+}
+
+}  // namespace
+
+void crash_arm(std::int64_t countdown) {
+  g_crash_countdown.store(countdown > 0 ? countdown : 0,
+                          std::memory_order_relaxed);
+  g_crash_points.store(0, std::memory_order_relaxed);
+}
+
+std::int64_t crash_points_passed() {
+  return g_crash_points.load(std::memory_order_relaxed);
+}
+
+namespace detail {
+
+void crash_point(const char* /*site*/) {
+  g_crash_points.fetch_add(1, std::memory_order_relaxed);
+  if (g_crash_countdown.load(std::memory_order_relaxed) <= 0) return;
+  if (g_crash_countdown.fetch_sub(1, std::memory_order_relaxed) == 1) {
+    // Simulated power loss: die without flushing, unwinding or atexit.
+    ::raise(SIGKILL);
+  }
+}
+
+}  // namespace detail
+
+bool try_atomic_write_file(const std::string& path, std::string_view content,
+                           std::string* error) noexcept {
+  const auto fail = [&](const std::string& what) {
+    if (error) *error = what + ": " + std::strerror(errno);
+    return false;
+  };
+  const std::string tmp = temp_path(path);
+  const int fd =
+      ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC | O_CLOEXEC, 0644);
+  if (fd < 0) return fail("cannot create '" + tmp + "'");
+  detail::crash_point("atomic.created");
+  // Two halves with a crash point between them: an armed harness can tear
+  // the temp file mid-content (the rename target must stay unharmed).
+  const std::size_t half = content.size() / 2;
+  bool ok = write_all(fd, content.data(), half);
+  detail::crash_point("atomic.mid_write");
+  ok = ok && write_all(fd, content.data() + half, content.size() - half);
+  if (!ok) {
+    ::close(fd);
+    ::unlink(tmp.c_str());
+    return fail("failed writing '" + tmp + "'");
+  }
+  detail::crash_point("atomic.before_sync");
+  if (::fsync(fd) != 0) {
+    ::close(fd);
+    ::unlink(tmp.c_str());
+    return fail("fsync failed on '" + tmp + "'");
+  }
+  ::close(fd);
+  detail::crash_point("atomic.before_rename");
+  if (::rename(tmp.c_str(), path.c_str()) != 0) {
+    ::unlink(tmp.c_str());
+    return fail("cannot rename '" + tmp + "' over '" + path + "'");
+  }
+  detail::crash_point("atomic.after_rename");
+  sync_parent_dir(path);
+  return true;
+}
+
+void atomic_write_file(const std::string& path, std::string_view content) {
+  std::string error;
+  if (!try_atomic_write_file(path, content, &error))
+    throw Error("atomic_write_file: " + error);
+}
+
+void remove_stale_temp(const std::string& path) {
+  ::unlink(temp_path(path).c_str());  // ENOENT is the common, fine case
+}
+
+std::string frame_journal_record(std::string_view payload) {
+  char head[20];
+  std::snprintf(head, sizeof(head), "%08zx %08x ", payload.size(),
+                crc32(payload));
+  std::string frame(head);
+  frame.append(payload);
+  frame.push_back('\n');
+  return frame;
+}
+
+JournalWriter::JournalWriter(const std::string& path, Mode mode)
+    : path_(path) {
+  const int flags = O_WRONLY | O_CREAT | O_CLOEXEC |
+                    (mode == Mode::kAppend ? O_APPEND : O_TRUNC);
+  fd_ = ::open(path.c_str(), flags, 0644);
+  if (fd_ < 0)
+    throw Error("cannot open journal for writing: " + path + ": " +
+                std::strerror(errno));
+}
+
+JournalWriter::~JournalWriter() { close_fd(); }
+
+JournalWriter::JournalWriter(JournalWriter&& other) noexcept
+    : path_(std::move(other.path_)),
+      fd_(std::exchange(other.fd_, -1)),
+      healthy_(other.healthy_) {}
+
+JournalWriter& JournalWriter::operator=(JournalWriter&& other) noexcept {
+  if (this != &other) {
+    close_fd();
+    path_ = std::move(other.path_);
+    fd_ = std::exchange(other.fd_, -1);
+    healthy_ = other.healthy_;
+  }
+  return *this;
+}
+
+void JournalWriter::close_fd() noexcept {
+  if (fd_ >= 0) ::close(fd_);
+  fd_ = -1;
+}
+
+void JournalWriter::append(std::string_view payload) {
+  if (fd_ < 0 || !healthy_) return;
+  SERELIN_ASSERT(payload.find('\n') == std::string_view::npos,
+                 "journal payloads are single-line");
+  const std::string frame = frame_journal_record(payload);
+  detail::crash_point("journal.before_append");
+  // Two halves with a crash point between them: the only way a genuinely
+  // torn record (the thing recover_journal exists for) can be produced
+  // under test. O_APPEND keeps the halves contiguous (single writer).
+  const std::size_t half = frame.size() / 2;
+  bool ok = write_all(fd_, frame.data(), half);
+  detail::crash_point("journal.mid_append");
+  ok = ok && write_all(fd_, frame.data() + half, frame.size() - half);
+  detail::crash_point("journal.before_sync");
+  ok = ok && ::fsync(fd_) == 0;
+  detail::crash_point("journal.after_sync");
+  if (!ok) healthy_ = false;  // disk full etc.: degrade, never abort a run
+}
+
+namespace {
+
+/// Parses one frame starting at `pos`. Returns the payload and advances
+/// `pos` past the trailing newline, or reports why the frame is damaged.
+bool parse_frame(const std::string& bytes, std::size_t& pos,
+                 std::string& payload, std::string& why) {
+  static constexpr std::size_t kHeader = 18;  // "LLLLLLLL CCCCCCCC "
+  const std::size_t eol = bytes.find('\n', pos);
+  if (eol == std::string::npos) {
+    why = "unterminated frame (no trailing newline)";
+    return false;
+  }
+  const std::string_view line(bytes.data() + pos, eol - pos);
+  if (line.size() < kHeader || line[8] != ' ' || line[17] != ' ') {
+    why = "malformed frame header";
+    return false;
+  }
+  std::uint64_t len = 0;
+  std::uint64_t crc = 0;
+  for (int i = 0; i < 8; ++i) {
+    const auto hex = [&why](char c, std::uint64_t& out) {
+      if (c >= '0' && c <= '9') out = out * 16 + static_cast<unsigned>(c - '0');
+      else if (c >= 'a' && c <= 'f')
+        out = out * 16 + static_cast<unsigned>(c - 'a' + 10);
+      else {
+        why = "non-hex digit in frame header";
+        return false;
+      }
+      return true;
+    };
+    if (!hex(line[static_cast<std::size_t>(i)], len) ||
+        !hex(line[static_cast<std::size_t>(i) + 9], crc))
+      return false;
+  }
+  const std::string_view body = line.substr(kHeader);
+  if (body.size() != len) {
+    why = "frame length mismatch (header says " + std::to_string(len) +
+          ", line carries " + std::to_string(body.size()) + ")";
+    return false;
+  }
+  if (crc32(body) != crc) {
+    why = "frame CRC mismatch";
+    return false;
+  }
+  payload.assign(body);
+  pos = eol + 1;
+  return true;
+}
+
+}  // namespace
+
+JournalRecovery read_journal(const std::string& path) {
+  JournalRecovery out;
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return out;  // missing journal: nothing recorded yet
+  std::string bytes((std::istreambuf_iterator<char>(in)),
+                    std::istreambuf_iterator<char>());
+  std::size_t pos = 0;
+  while (pos < bytes.size()) {
+    std::string payload;
+    std::string why;
+    if (!parse_frame(bytes, pos, payload, why)) {
+      out.torn = true;
+      out.detail = "record " + std::to_string(out.records.size()) +
+                   " at byte " + std::to_string(pos) + ": " + why;
+      break;
+    }
+    out.records.push_back(std::move(payload));
+    out.valid_bytes = pos;
+  }
+  return out;
+}
+
+JournalRecovery recover_journal(const std::string& path) {
+  JournalRecovery out = read_journal(path);
+  remove_stale_temp(path);
+  if (out.torn) {
+    if (::truncate(path.c_str(), static_cast<off_t>(out.valid_bytes)) != 0)
+      throw Error("cannot truncate torn journal '" + path + "' to " +
+                  std::to_string(out.valid_bytes) + " bytes: " +
+                  std::strerror(errno));
+    const int fd = ::open(path.c_str(), O_WRONLY | O_CLOEXEC);
+    if (fd >= 0) {
+      ::fsync(fd);
+      ::close(fd);
+    }
+    sync_parent_dir(path);
+  }
+  return out;
+}
+
+}  // namespace serelin

@@ -1,7 +1,8 @@
 #include "support/corpus.hpp"
 
 #include <filesystem>
-#include <fstream>
+
+#include "support/atomic_io.hpp"
 
 namespace serelin {
 
@@ -41,15 +42,11 @@ PersistResult persist_counterexample(const std::string& dir,
     out.deduplicated = true;
     return out;
   }
-  {
-    std::ofstream o(file, std::ios::binary);
-    o << text;
-    if (!o) return out;  // path stays empty: persistence failed
-  }
-  {
-    std::ofstream o(file.string() + ".repro", std::ios::binary);
-    o << sidecar;
-  }
+  // Durable replace (docs/ROBUSTNESS.md §11): a crash mid-persist must not
+  // leave a torn counterexample that later replays as a different circuit.
+  if (!try_atomic_write_file(file.string(), text))
+    return out;  // path stays empty: persistence failed
+  try_atomic_write_file(file.string() + ".repro", sidecar);
   out.path = file.string();
   return out;
 }

@@ -53,6 +53,12 @@ class CancelToken {
     return flag_->load(std::memory_order_relaxed);
   }
 
+  /// The raw flag, for async-signal-safe cancellation from a signal
+  /// handler (support/signals.cpp) — a handler cannot call a member
+  /// function on a shared_ptr-backed object but may store into a
+  /// pre-published atomic. The token must outlive every use of it.
+  std::atomic<bool>* flag() const noexcept { return flag_.get(); }
+
  private:
   friend class Deadline;
   std::shared_ptr<std::atomic<bool>> flag_;

@@ -1,9 +1,9 @@
 #include "support/metrics.hpp"
 
-#include <fstream>
 #include <vector>
 
 #include "support/annotations.hpp"
+#include "support/atomic_io.hpp"
 #include "support/check.hpp"
 #include "support/sync.hpp"
 
@@ -53,13 +53,9 @@ std::string metrics_json(const MetricsSnapshot& snapshot) {
 
 void write_metrics_json(const MetricsSnapshot& snapshot,
                         const std::string& path) {
-  std::ofstream out(path, std::ios::trunc);
-  SERELIN_REQUIRE(static_cast<bool>(out),
-                  "cannot open metrics file for writing: " + path);
-  out << metrics_json(snapshot) << '\n';
-  out.flush();
-  SERELIN_REQUIRE(static_cast<bool>(out),
-                  "failed writing metrics file: " + path);
+  // Atomic replace: a crash mid-write leaves the previous metrics file (or
+  // nothing) rather than a truncated JSON document.
+  atomic_write_file(path, metrics_json(snapshot) + '\n');
 }
 
 #if SERELIN_TRACE_ENABLED

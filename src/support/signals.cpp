@@ -1,0 +1,61 @@
+#include "support/signals.hpp"
+
+#include <atomic>
+#include <csignal>
+
+#include "support/check.hpp"
+
+namespace serelin {
+
+namespace {
+
+// The handler reads these; SignalGuard's constructor is the only writer
+// and installs them before the handlers (release/acquire not needed:
+// signal delivery on the installing thread is already ordered, and
+// cross-thread delivery only races toward a benign no-op).
+std::atomic<std::atomic<bool>*> g_cancel_flag{nullptr};
+std::atomic<int> g_signals_seen{0};
+struct sigaction g_prev_int;
+struct sigaction g_prev_term;
+bool g_installed = false;
+
+void on_signal(int sig) {
+  if (g_signals_seen.fetch_add(1, std::memory_order_relaxed) > 0) {
+    // Second signal: the operator insists. Die the conventional way.
+    ::signal(sig, SIG_DFL);
+    ::raise(sig);
+    return;
+  }
+  if (std::atomic<bool>* flag = g_cancel_flag.load(std::memory_order_relaxed))
+    flag->store(true, std::memory_order_relaxed);
+}
+
+}  // namespace
+
+SignalGuard::SignalGuard(CancelToken token) : token_(token) {
+  SERELIN_REQUIRE(!g_installed, "only one SignalGuard may be live");
+  g_installed = true;
+  g_signals_seen.store(0, std::memory_order_relaxed);
+  // Publish the token's flag for the handler. The CancelToken member keeps
+  // the shared_ptr (and thus the atomic) alive for the guard's lifetime.
+  g_cancel_flag.store(token_.flag(), std::memory_order_relaxed);
+  struct sigaction sa{};
+  sa.sa_handler = on_signal;
+  sigemptyset(&sa.sa_mask);
+  sa.sa_flags = SA_RESTART;
+  ::sigaction(SIGINT, &sa, &g_prev_int);
+  ::sigaction(SIGTERM, &sa, &g_prev_term);
+}
+
+SignalGuard::~SignalGuard() {
+  ::sigaction(SIGINT, &g_prev_int, nullptr);
+  ::sigaction(SIGTERM, &g_prev_term, nullptr);
+  g_cancel_flag.store(nullptr, std::memory_order_relaxed);
+  g_installed = false;
+}
+
+bool SignalGuard::interrupted() const {
+  return g_signals_seen.load(std::memory_order_relaxed) > 0;
+}
+
+}  // namespace serelin

@@ -1,7 +1,6 @@
 #include "support/trace.hpp"
 
-#include <fstream>
-
+#include "support/atomic_io.hpp"
 #include "support/check.hpp"
 
 #if SERELIN_TRACE_ENABLED
@@ -185,11 +184,9 @@ std::string Tracer::chrome_json() {
 namespace serelin {
 
 void Tracer::write_chrome_json(const std::string& path) {
-  std::ofstream out(path, std::ios::trunc);
-  SERELIN_REQUIRE(out.is_open(), "cannot open trace file '" + path + "'");
-  out << chrome_json();
-  out.flush();
-  SERELIN_REQUIRE(out.good(), "failed writing trace file '" + path + "'");
+  // Atomic replace: a crash mid-write never leaves a truncated trace that
+  // chrome://tracing half-loads.
+  atomic_write_file(path, chrome_json());
 }
 
 }  // namespace serelin

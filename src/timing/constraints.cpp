@@ -10,6 +10,17 @@ namespace {
 inline bool allowed(std::span<const char> movers, VertexId p) {
   return movers.empty() || movers[p];
 }
+
+// Records the drain-side resolution of a P2' violation on registered edge
+// `launch` = (u, h): decreasing h by wr(launch) carries the launching
+// register forward through h instead of pushing the boundary register.
+inline void attach_drain_alt(const RetimingGraph& g, const Retiming& r,
+                             EdgeId launch, Violation& v) {
+  const VertexId h = g.edge(launch).to;
+  if (h == v.q || !g.movable(h)) return;
+  v.alt_q = h;
+  v.alt_w = std::max(g.wr(launch, r), 1);
+}
 }  // namespace
 
 ConstraintChecker::ConstraintChecker(const RetimingGraph& g,
@@ -61,6 +72,7 @@ std::optional<Violation> ConstraintChecker::find_p2(
     VertexId p = e.from;
     if (!allowed(movers, p) && allowed(movers, t.rt(e.to))) p = t.rt(e.to);
     Violation v{ConstraintKind::kP2, p, be.to, need};
+    attach_drain_alt(*g_, r, eid, v);
     if (allowed(movers, v.p)) return v;
     if (!fallback) fallback = v;
   }
@@ -142,6 +154,7 @@ std::vector<Violation> ConstraintChecker::find_violations(
       VertexId p = e.from;
       if (!allowed(movers, p) && allowed(movers, t.rt(e.to))) p = t.rt(e.to);
       Violation v{ConstraintKind::kP2, p, be.to, need};
+      attach_drain_alt(*g_, r, eid, v);
       if (allowed(movers, v.p)) push(v);
       else if (!fallback) fallback = v;
     }
@@ -225,6 +238,7 @@ std::vector<Violation> ConstraintChecker::find_violations(
       VertexId p = e.from;
       if (!allowed(movers, p) && allowed(movers, t.rt(e.to))) p = t.rt(e.to);
       Violation v{ConstraintKind::kP2, p, be.to, need};
+      attach_drain_alt(*g_, r, eid, v);
       if (allowed(movers, v.p)) push(v);
       else if (!fallback) fallback = v;
     }

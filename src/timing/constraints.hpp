@@ -36,6 +36,15 @@ struct Violation {
   VertexId p = kNullVertex;  ///< dependency source ("if p drops again...")
   VertexId q = kNullVertex;  ///< vertex that must decrease (may be immovable)
   std::int32_t w = 0;        ///< required decrease of q
+  // A P2' short-path violation on a registered edge e = (u, h) admits two
+  // monotone fixes: push the boundary register forward (q = boundary head,
+  // the default) or drain the launching register off e by decreasing h
+  // itself. The alternate is recorded so a solver whose primary choice
+  // dead-ended in an immovable chain can re-try the other resolution
+  // (see MinObsWinSolver's re-seeded passes); kNullVertex when the
+  // violation has a unique fix.
+  VertexId alt_q = kNullVertex;  ///< drain-side fix target, if any
+  std::int32_t alt_w = 0;        ///< required decrease of alt_q
 };
 
 class ConstraintChecker {

@@ -1,0 +1,9 @@
+// Fixture: artifact written with a raw ofstream instead of the durable
+// path. A crash mid-write leaves a torn file the next run will read.
+#include <fstream>
+#include <string>
+
+void dump_report(const std::string& path, const std::string& body) {
+  std::ofstream out(path);  // line 7: serelin-no-bare-artifact-write fires
+  out << body;
+}

@@ -1,0 +1,23 @@
+// Fixture: durable writes go through atomic_write_file, reads through
+// ifstream / fopen("rb"); neither may trip the rule, and neither may
+// prose naming ofstream in comments or strings.
+#include "support/atomic_io.hpp"
+
+#include <cstdio>
+#include <fstream>
+#include <string>
+
+const char* write_note() { return "never a bare ofstream here"; }
+
+void dump_report(const std::string& path, const std::string& body) {
+  serelin::atomic_write_file(path, body);
+}
+
+std::string read_report(const std::string& path) {
+  std::ifstream in(path);
+  std::string body((std::istreambuf_iterator<char>(in)),
+                   std::istreambuf_iterator<char>());
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f) std::fclose(f);
+  return body;
+}

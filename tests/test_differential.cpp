@@ -292,10 +292,18 @@ TEST(CorpusReplay, CommittedDivergencesAreOneMinimal) {
     const Netlist nl = read_bench_file(entry.bench_path);
     DiffConfig cfg;
     cfg.engine_seconds = 30.0;
-    const auto diverges = [&cfg](const Netlist& candidate) {
-      return run_differential(candidate, cfg).divergent();
+    const DifferentialReport full = run_differential(nl, cfg);
+    ASSERT_TRUE(full.divergent()) << entry.bench_path;
+    // Mirror the fuzzer's shrink predicate: the candidate must show the
+    // SAME divergence kind. Plain divergent() would let the shrinker
+    // wander into setup-crash degenerates (a different bug entirely).
+    const std::string kind = full.divergences.front().kind;
+    const auto diverges = [&cfg, &kind](const Netlist& candidate) {
+      const DifferentialReport r = run_differential(candidate, cfg);
+      for (const Divergence& d : r.divergences)
+        if (d.kind == kind) return true;
+      return false;
     };
-    ASSERT_TRUE(diverges(nl)) << entry.bench_path;
     const ShrinkResult res = shrink_netlist(nl, diverges);
     EXPECT_TRUE(res.one_minimal) << entry.bench_path;
     EXPECT_EQ(res.removed, 0) << entry.bench_path

@@ -37,7 +37,7 @@ std::string corpus(const std::string& sub) {
 constexpr const char* kAllRules[] = {
     "no-unseeded-random",   "no-wallclock",
     "no-unordered-range-for", "wd-dense-gated",
-    "diag-code-name",
+    "no-bare-artifact-write", "diag-code-name",
     "diag-code-documented", "exit-code-registry",
     "trace-macro-pure",     "header-self-sufficient",
 };
@@ -63,6 +63,7 @@ TEST(LintCorpus, EachLexicalRuleFiresExactlyWhereExpected) {
       {"no-wallclock", "src/sample.cpp:5"},
       {"no-unordered-range-for", "src/core/sample.cpp:9"},
       {"wd-dense-gated", "src/sample.cpp:6"},
+      {"no-bare-artifact-write", "src/sample.cpp:7"},
       {"diag-code-name", "src/support/diag.hpp:8"},
       {"diag-code-documented", "src/support/diag.cpp:8"},
       {"exit-code-registry", "tools/serelin_cli.cpp:7"},

@@ -11,6 +11,7 @@
 #include "check/oracle.hpp"
 #include "flow/pipeline.hpp"
 #include "helpers.hpp"
+#include "support/atomic_io.hpp"
 #include "support/check.hpp"
 
 namespace serelin {
@@ -25,12 +26,11 @@ PipelineOptions fast_options() {
 }
 
 std::vector<std::string> journal_lines(const std::string& path) {
-  std::ifstream in(path);
-  std::vector<std::string> lines;
-  std::string line;
-  while (std::getline(in, line))
-    if (!line.empty()) lines.push_back(line);
-  return lines;
+  // Journals are framed (length + CRC per record) since the crash-safety
+  // work; read_journal is the one sanctioned reader.
+  const JournalRecovery rec = read_journal(path);
+  EXPECT_FALSE(rec.torn) << rec.detail;
+  return rec.records;
 }
 
 bool has_field(const std::string& line, const std::string& key,

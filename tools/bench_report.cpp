@@ -27,6 +27,7 @@
 #include "rgraph/retiming_graph.hpp"
 #include "ser/ser_analyzer.hpp"
 #include "sim/observability.hpp"
+#include "support/atomic_io.hpp"
 #include "support/check.hpp"
 #include "support/metrics.hpp"
 #include "support/parallel.hpp"
@@ -167,39 +168,44 @@ std::uint64_t fingerprint_bytes(const std::vector<T>& data) {
 
 void write_json(const char* path, const RandomCircuitSpec& spec,
                 const std::vector<KernelReport>& kernels) {
-  std::FILE* f = std::fopen(path, "w");
-  SERELIN_REQUIRE(f != nullptr, "cannot open output file");
-  std::fprintf(f, "{\n");
-  std::fprintf(f,
-               "  \"circuit\": {\"gates\": %d, \"dffs\": %d, \"inputs\": %d, "
-               "\"outputs\": %d, \"seed\": %llu},\n",
-               spec.gates, spec.dffs, spec.inputs, spec.outputs,
-               static_cast<unsigned long long>(spec.seed));
-  std::fprintf(f, "  \"hardware_threads\": %d,\n", hardware_threads());
-  std::fprintf(f, "  \"kernels\": [\n");
+  std::string out = "{\n";
+  char buf[256];
+  auto line = [&](const char* fmt, auto... args) {
+    std::snprintf(buf, sizeof(buf), fmt, args...);
+    out += buf;
+  };
+  line(
+      "  \"circuit\": {\"gates\": %d, \"dffs\": %d, \"inputs\": %d, "
+      "\"outputs\": %d, \"seed\": %llu},\n",
+      spec.gates, spec.dffs, spec.inputs, spec.outputs,
+      static_cast<unsigned long long>(spec.seed));
+  line("  \"hardware_threads\": %d,\n", hardware_threads());
+  out += "  \"kernels\": [\n";
   for (std::size_t k = 0; k < kernels.size(); ++k) {
     const KernelReport& rep = kernels[k];
-    std::fprintf(f, "    {\"kernel\": \"%s\", \"config\": \"%s\",\n",
-                 rep.name.c_str(), rep.config.c_str());
-    std::fprintf(f, "     \"bit_identical_across_threads\": %s,\n",
-                 rep.identical ? "true" : "false");
-    std::fprintf(f, "     \"counters_identical_across_threads\": %s,\n",
-                 rep.counters_identical ? "true" : "false");
-    std::fprintf(f, "     \"counters\": %s,\n",
-                 metrics_json(rep.counters).c_str());
-    std::fprintf(f, "     \"results\": [");
+    line("    {\"kernel\": \"%s\", \"config\": \"%s\",\n",
+         rep.name.c_str(), rep.config.c_str());
+    line("     \"bit_identical_across_threads\": %s,\n",
+         rep.identical ? "true" : "false");
+    line("     \"counters_identical_across_threads\": %s,\n",
+         rep.counters_identical ? "true" : "false");
+    line("     \"counters\": %s,\n", metrics_json(rep.counters).c_str());
+    out += "     \"results\": [";
     for (std::size_t i = 0; i < rep.cells.size(); ++i) {
       const Cell& c = rep.cells[i];
-      std::fprintf(f,
-                   "%s\n       {\"threads\": %d, \"wall_ms\": %.2f, "
-                   "\"speedup\": %.3f}",
-                   i ? "," : "", c.threads, c.wall_ms, c.speedup);
+      line(
+          "%s\n       {\"threads\": %d, \"wall_ms\": %.2f, "
+          "\"speedup\": %.3f}",
+          i ? "," : "", c.threads, c.wall_ms, c.speedup);
     }
-    std::fprintf(f, "\n     ]}%s\n", k + 1 < kernels.size() ? "," : "");
+    line("\n     ]}%s\n", k + 1 < kernels.size() ? "," : "");
   }
-  std::fprintf(f, "  ]\n}\n");
-  std::fclose(f);
+  out += "  ]\n}\n";
+  // Atomic replace: a crash or kill mid-report leaves the previous report
+  // (or nothing), never half a JSON document for bench_gate.py to choke on.
+  atomic_write_file(path, out);
 }
+
 
 }  // namespace
 

@@ -1,0 +1,423 @@
+// crash_harness — process-kill torture tests for the crash-safe pipeline
+// (docs/ROBUSTNESS.md §11).
+//
+//   crash_harness [--seed S] [--trials N] [--kills K] [--max-seconds T]
+//                 [--out DIR] [--self-check] [--verbose]
+//
+// Each trial takes one random circuit through four phases:
+//
+//   1. Reference: run the fallback pipeline uninterrupted (oracle on,
+//      no deadline) — the result every killed-and-resumed run must match
+//      bit for bit.
+//   2. Calibration: run again with checkpointing and journaling into a
+//      scratch directory, counting the durability crash points traversed
+//      (every journal frame half, fsync and rename carries one).
+//   3. Torture: for K kill indices sampled over the calibrated range,
+//      fork; the child arms crash_arm(k) and repeats the checkpointed
+//      run, so the k-th crash point SIGKILLs it mid-write — including
+//      between the two halves of a journal frame and between a temp
+//      write and its rename. The parent waits for the SIGKILL.
+//   4. Resume: the parent re-runs the pipeline in-process with --resume
+//      semantics against the scratch the child left behind, then asserts
+//      (a) the result is bit-identical to the reference (the oracle
+//      already signed it off inside the pipeline), (b) the recovered
+//      journal is intact, (c) no .tmp or unexpected file remains.
+//
+// Exit codes: 0 clean, 64 usage, 77 a torture case failed (scratch is
+// left behind for inspection), 78 interrupted by SIGINT/SIGTERM.
+#include <sys/types.h>
+#include <sys/wait.h>
+
+#include <unistd.h>
+
+#include <chrono>
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "flow/pipeline.hpp"
+#include "flow/resume_check.hpp"
+#include "gen/random_circuit.hpp"
+#include "netlist/cell_library.hpp"
+#include "support/atomic_io.hpp"
+#include "support/check.hpp"
+#include "support/checkpoint.hpp"
+#include "support/parallel.hpp"
+#include "support/rng.hpp"
+#include "support/signals.hpp"
+#include "support/strings.hpp"
+
+namespace {
+
+using namespace serelin;
+namespace fs = std::filesystem;
+
+struct HarnessOptions {
+  std::uint64_t seed = 1;
+  int trials = 4;
+  int kills = 25;         ///< kill points exercised per trial
+  double max_seconds = 0;  ///< 0 = no wall-clock cap
+  std::string out = "build/crash-harness";
+  bool self_check = false;
+  bool verbose = false;
+};
+
+[[noreturn]] void usage(const char* msg = nullptr) {
+  if (msg) std::fprintf(stderr, "error: %s\n\n", msg);
+  std::fprintf(stderr,
+               "usage: crash_harness [--seed S] [--trials N] [--kills K]\n"
+               "                     [--max-seconds T] [--out DIR]\n"
+               "                     [--self-check] [--verbose]\n");
+  std::exit(64);
+}
+
+HarnessOptions parse_args(int argc, char** argv) {
+  HarnessOptions opt;
+  for (int i = 1; i < argc; ++i) {
+    const std::string a = argv[i];
+    auto value = [&]() -> const char* {
+      if (i + 1 >= argc) usage(("missing value for " + a).c_str());
+      return argv[++i];
+    };
+    if (a == "--seed") {
+      const auto v = parse_uint(value());
+      if (!v) usage("--seed wants an unsigned integer");
+      opt.seed = *v;
+    } else if (a == "--trials") {
+      const auto v = parse_int(value(), 1, 1 << 20);
+      if (!v) usage("--trials wants a positive integer");
+      opt.trials = static_cast<int>(*v);
+    } else if (a == "--kills") {
+      const auto v = parse_int(value(), 1, 1 << 20);
+      if (!v) usage("--kills wants a positive integer");
+      opt.kills = static_cast<int>(*v);
+    } else if (a == "--max-seconds") {
+      const auto v = parse_double(value());
+      if (!v || *v < 0) usage("--max-seconds wants a non-negative number");
+      opt.max_seconds = *v;
+    } else if (a == "--out") {
+      opt.out = value();
+    } else if (a == "--self-check") {
+      opt.self_check = true;
+    } else if (a == "--verbose") {
+      opt.verbose = true;
+    } else {
+      usage(("unknown option " + a).c_str());
+    }
+  }
+  return opt;
+}
+
+/// Deterministic pipeline configuration for one trial: small simulation,
+/// oracle on, no deadline — every run of it computes the exact same thing,
+/// which is what makes "resumed == fresh" checkable bitwise.
+PipelineOptions trial_options(const std::string& scratch, bool durable) {
+  PipelineOptions po;
+  po.sim.patterns = 128;
+  po.sim.frames = 4;
+  po.sim.warmup = 8;
+  po.verify = true;
+  if (durable) {
+    po.journal_path = scratch + "/journal.jsonl";
+    po.checkpoint_path = scratch + "/ck.bin";
+    // Persist every offer: the densest possible snapshot schedule, hence
+    // the most crash points and the sharpest resume granularity.
+    po.checkpoint_every = 1;
+  }
+  return po;
+}
+
+Netlist trial_circuit(std::uint64_t seed, int trial) {
+  std::uint64_t stream =
+      seed + 0x9e3779b97f4a7c15ULL * static_cast<std::uint64_t>(trial + 1);
+  Rng rng(splitmix64(stream));
+  RandomCircuitSpec spec;
+  spec.gates = static_cast<int>(rng.range(60, 180));
+  spec.dffs = static_cast<int>(rng.range(12, 40));
+  spec.inputs = 12;
+  spec.outputs = 12;
+  spec.name = "crash" + std::to_string(trial);
+  spec.seed = rng.next();
+  return generate_random_circuit(spec);
+}
+
+void reset_scratch(const std::string& scratch) {
+  fs::remove_all(scratch);
+  fs::create_directories(scratch);
+}
+
+/// Post-resume audit: the scratch directory must hold exactly the journal
+/// and the checkpoint, both intact — no torn tails, no rename temps, no
+/// orphans a crashed writer forgot.
+bool audit_scratch(const std::string& scratch, std::string* detail) {
+  bool saw_journal = false;
+  bool saw_checkpoint = false;
+  for (const fs::directory_entry& e : fs::directory_iterator(scratch)) {
+    const std::string name = e.path().filename().string();
+    if (name == "journal.jsonl") {
+      saw_journal = true;
+      continue;
+    }
+    if (name == "ck.bin") {
+      saw_checkpoint = true;
+      continue;
+    }
+    *detail = "unexpected file in scratch: " + name;
+    return false;
+  }
+  if (!saw_journal || !saw_checkpoint) {
+    *detail = std::string("missing artifact: ") +
+              (saw_journal ? "ck.bin" : "journal.jsonl");
+    return false;
+  }
+  const JournalRecovery rec = read_journal(scratch + "/journal.jsonl");
+  if (rec.torn) {
+    *detail = "journal still torn after resume: " + rec.detail;
+    return false;
+  }
+  try {
+    CheckpointImage image;
+    if (!load_checkpoint(scratch + "/ck.bin", image)) {
+      *detail = "checkpoint vanished after resume";
+      return false;
+    }
+  } catch (const Error& e) {
+    *detail = std::string("checkpoint damaged after resume: ") + e.what();
+    return false;
+  }
+  detail->clear();
+  return true;
+}
+
+struct Tally {
+  int trials = 0;
+  int kills = 0;        ///< forked children SIGKILLed mid-write
+  int completed = 0;    ///< children that outran their kill index
+  int resumes = 0;      ///< resumed runs checked against the reference
+  std::int64_t points = 0;  ///< calibrated crash points across trials
+};
+
+bool fail(const std::string& scratch, const std::string& what) {
+  std::fprintf(stderr, "crash_harness: FAILURE: %s\n  scratch kept at %s\n",
+               what.c_str(), scratch.c_str());
+  return false;
+}
+
+/// One torture case: fork a child that dies at crash point `kill_at`, then
+/// resume from whatever it left and compare against `fresh`.
+bool torture_once(const Netlist& nl, const CellLibrary& lib,
+                  const std::string& scratch, const PipelineResult& fresh,
+                  std::int64_t kill_at, Tally& tally, bool verbose) {
+  reset_scratch(scratch);
+  const pid_t pid = fork();
+  if (pid < 0) return fail(scratch, "fork failed");
+  if (pid == 0) {
+    // Child: same deterministic run, armed to die mid-write. _exit on
+    // every path — this address space shares the parent's stdio buffers.
+    crash_arm(kill_at);
+    int code = 0;
+    try {
+      const PipelineOptions po = trial_options(scratch, /*durable=*/true);
+      const PipelineResult r = run_pipeline(nl, lib, po);
+      code = r.ok ? 0 : 3;
+    } catch (...) {
+      code = 3;
+    }
+    crash_arm(0);
+    _exit(code);
+  }
+  int status = 0;
+  if (waitpid(pid, &status, 0) != pid) return fail(scratch, "waitpid failed");
+  if (WIFSIGNALED(status) && WTERMSIG(status) == SIGKILL) {
+    ++tally.kills;
+  } else if (WIFEXITED(status) && WEXITSTATUS(status) == 0) {
+    ++tally.completed;  // kill index beyond the run's crash points
+  } else {
+    return fail(scratch, "child died abnormally (status " +
+                             std::to_string(status) + ", kill index " +
+                             std::to_string(kill_at) + ")");
+  }
+
+  // Resume against the exact bytes the kill left behind.
+  PipelineOptions po = trial_options(scratch, /*durable=*/true);
+  po.resume_path = po.checkpoint_path;
+  PipelineResult resumed;
+  try {
+    resumed = run_pipeline(nl, lib, po);
+  } catch (const Error& e) {
+    return fail(scratch, "resume threw at kill index " +
+                             std::to_string(kill_at) + ": " + e.what());
+  }
+  ++tally.resumes;
+  std::string detail;
+  if (!resume_matches_fresh(fresh, resumed, &detail))
+    return fail(scratch, "resumed result diverges from fresh at kill index " +
+                             std::to_string(kill_at) + ": " + detail);
+  if (!audit_scratch(scratch, &detail))
+    return fail(scratch,
+                "audit after kill index " + std::to_string(kill_at) + ": " +
+                    detail);
+  if (verbose)
+    std::fprintf(stderr, "  kill %lld: ok (%s)\n",
+                 static_cast<long long>(kill_at),
+                 WIFSIGNALED(status) ? "killed" : "completed");
+  return true;
+}
+
+bool run_trial(const HarnessOptions& opt, int trial, Tally& tally) {
+  const Netlist nl = trial_circuit(opt.seed, trial);
+  const CellLibrary lib;
+  const std::string scratch = opt.out + "/trial" + std::to_string(trial);
+
+  // Phase 1: the uninterrupted reference (no durability, no scratch).
+  const PipelineResult fresh =
+      run_pipeline(nl, lib, trial_options(scratch, /*durable=*/false));
+  if (!fresh.ok) return fail(scratch, "reference run produced no result");
+
+  // Phase 2: calibration — count this configuration's crash points.
+  reset_scratch(scratch);
+  crash_arm(0);  // disarm and reset the counter
+  run_pipeline(nl, lib, trial_options(scratch, /*durable=*/true));
+  const std::int64_t points = crash_points_passed();
+  if (points <= 0) return fail(scratch, "calibration found no crash points");
+  tally.points += points;
+
+  // Phase 3+4: seeded kills across the whole window, always including the
+  // first and last point (the arm/rename edges are the classic bugs).
+  std::uint64_t kill_stream =
+      opt.seed ^ (0xc2b2ae3d27d4eb4fULL * static_cast<std::uint64_t>(trial + 1));
+  Rng rng(splitmix64(kill_stream));
+  std::vector<std::int64_t> kill_points;
+  kill_points.push_back(1);
+  if (points > 1) kill_points.push_back(points);
+  while (static_cast<int>(kill_points.size()) < opt.kills)
+    kill_points.push_back(
+        1 + static_cast<std::int64_t>(rng.below(
+                static_cast<std::uint64_t>(points))));
+  for (const std::int64_t k : kill_points)
+    if (!torture_once(nl, lib, scratch, fresh, k, tally, opt.verbose))
+      return false;
+  ++tally.trials;
+  fs::remove_all(scratch);  // clean trials leave nothing behind
+  return true;
+}
+
+/// Sanity-checks the harness's own failure detection: a damaged checkpoint
+/// must be rejected loudly, a torn journal must recover, and a wrong
+/// fingerprint must refuse to resume.
+bool self_check(const HarnessOptions& opt) {
+  const std::string scratch = opt.out + "/self-check";
+  reset_scratch(scratch);
+
+  // Torn-journal recovery: append two intact records plus a torn tail.
+  const std::string jpath = scratch + "/torn.jsonl";
+  {
+    JournalWriter w(jpath, JournalWriter::Mode::kTruncate);
+    w.append("{\"a\":1}");
+    w.append("{\"b\":2}");
+  }
+  {
+    std::string bytes = frame_journal_record("{\"c\":3}");
+    bytes.resize(bytes.size() / 2);  // torn mid-frame
+    // Deliberate raw append: the whole point is to fabricate a torn tail
+    // that atomic_io would refuse to produce.
+    FILE* f = std::fopen(  // NOLINT(serelin-no-bare-artifact-write)
+        jpath.c_str(), "ab");
+    if (!f) return fail(scratch, "self-check: cannot append torn tail");
+    std::fwrite(bytes.data(), 1, bytes.size(), f);
+    std::fclose(f);
+  }
+  JournalRecovery rec = read_journal(jpath);
+  if (!rec.torn || rec.records.size() != 2)
+    return fail(scratch, "self-check: torn tail not detected");
+  rec = recover_journal(jpath);
+  if (read_journal(jpath).torn)
+    return fail(scratch, "self-check: recovery left the journal torn");
+
+  // Damaged checkpoint: flip one byte, expect a loud rejection.
+  const std::string ckpath = scratch + "/ck.bin";
+  CheckpointImage image;
+  image.kind = "pipeline";
+  image.fingerprint = 42;
+  image.sections.emplace_back("pipeline", std::string("\x01\x02", 2));
+  save_checkpoint(ckpath, image);
+  std::string bytes;
+  {
+    FILE* f = std::fopen(ckpath.c_str(), "rb");
+    if (!f) return fail(scratch, "self-check: cannot reread checkpoint");
+    char buf[4096];
+    std::size_t n = 0;
+    while ((n = std::fread(buf, 1, sizeof buf, f)) > 0) bytes.append(buf, n);
+    std::fclose(f);
+  }
+  bytes[bytes.size() / 2] ^= 0x40;
+  atomic_write_file(ckpath, bytes);
+  try {
+    CheckpointImage damaged;
+    load_checkpoint(ckpath, damaged);
+    return fail(scratch, "self-check: damaged checkpoint was accepted");
+  } catch (const ParseError&) {
+    // expected
+  }
+
+  // One real mini-campaign proves the fork/kill/resume machinery.
+  HarnessOptions mini = opt;
+  mini.trials = 1;
+  mini.kills = 5;
+  Tally tally;
+  if (!run_trial(mini, 0, tally)) return false;
+  if (tally.kills == 0)
+    return fail(scratch, "self-check: no child was actually SIGKILLed");
+  fs::remove_all(scratch);
+  std::printf("crash_harness: self-check ok (%d kill(s), %d resume(s), "
+              "%lld crash point(s))\n",
+              tally.kills, tally.resumes,
+              static_cast<long long>(tally.points));
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  // Forked children must not carry worker threads (they would be lost in
+  // the child and any held locks would deadlock it): run serial.
+  set_execution_threads(1);
+  CancelToken interrupt;
+  SignalGuard guard(interrupt);
+  const HarnessOptions opt = parse_args(argc, argv);
+  fs::create_directories(opt.out);
+
+  if (opt.self_check) return self_check(opt) ? 0 : 77;
+
+  const auto t0 = std::chrono::steady_clock::now();
+  Tally tally;
+  for (int trial = 0; trial < opt.trials; ++trial) {
+    if (opt.max_seconds > 0) {
+      const std::chrono::duration<double> elapsed =
+          std::chrono::steady_clock::now() - t0;
+      if (elapsed.count() >= opt.max_seconds) break;
+    }
+    if (guard.interrupted()) {
+      std::fprintf(stderr, "crash_harness: interrupted after %d trial(s)\n",
+                   tally.trials);
+      break;
+    }
+    if (opt.verbose)
+      std::fprintf(stderr, "trial %d/%d...\n", trial + 1, opt.trials);
+    if (!run_trial(opt, trial, tally)) return 77;
+  }
+
+  const std::chrono::duration<double> elapsed =
+      std::chrono::steady_clock::now() - t0;
+  std::printf(
+      "crash_harness: %d trial(s) clean in %.1fs (seed %llu)\n"
+      "  %d SIGKILL(s) landed, %d child run(s) outran their kill index\n"
+      "  %d resume(s) bit-identical to fresh; %lld crash point(s) calibrated\n",
+      tally.trials, elapsed.count(),
+      static_cast<unsigned long long>(opt.seed), tally.kills, tally.completed,
+      tally.resumes, static_cast<long long>(tally.points));
+  return guard.interrupted() ? SignalGuard::kExitInterrupted : 0;
+}

@@ -54,10 +54,12 @@
 #include "netlist/validate.hpp"
 #include "rgraph/retiming_graph.hpp"
 #include "sim/observability.hpp"
+#include "support/atomic_io.hpp"
 #include "support/check.hpp"
 #include "support/corpus.hpp"
 #include "support/deadline.hpp"
 #include "support/rng.hpp"
+#include "support/signals.hpp"
 #include "support/strings.hpp"
 
 namespace {
@@ -314,10 +316,7 @@ bool run_iteration(const HarnessOptions& opt, int iter, Tally& tally) {
   std::error_code ec;
   fs::create_directories(opt.corpus, ec);
   const fs::path pending = fs::path(opt.corpus) / ("pending-" + stem);
-  {
-    std::ofstream out(pending, std::ios::binary);
-    out << text;
-  }
+  try_atomic_write_file(pending.string(), text);
 
   const std::string label = "iter " + std::to_string(iter) + " (--seed " +
                             std::to_string(opt.seed) + ")";
@@ -390,6 +389,10 @@ int run_replay(const HarnessOptions& opt, Tally& tally) {
 }  // namespace
 
 int main(int argc, char** argv) {
+  // First SIGINT/SIGTERM: finish the current iteration, print the tally,
+  // exit 78. Second: die with the conventional signal status.
+  CancelToken interrupt;
+  SignalGuard guard(interrupt);
   const HarnessOptions opt = parse_args(argc, argv);
   const auto t0 = std::chrono::steady_clock::now();
 
@@ -402,6 +405,11 @@ int main(int argc, char** argv) {
       const std::chrono::duration<double> elapsed =
           std::chrono::steady_clock::now() - t0;
       if (elapsed.count() >= opt.max_seconds) break;
+    }
+    if (guard.interrupted()) {
+      std::fprintf(stderr, "fault_harness: interrupted after %d iteration(s)\n",
+                   done);
+      break;
     }
     if (!run_iteration(opt, iter, tally)) return 1;
     if (opt.verbose && (iter + 1) % 50 == 0)
@@ -420,5 +428,5 @@ int main(int argc, char** argv) {
   if (opt.verify)
     std::printf("  oracle: %d result(s) verified, 0 rejected\n",
                 tally.verified);
-  return 0;
+  return guard.interrupted() ? SignalGuard::kExitInterrupted : 0;
 }

@@ -52,6 +52,7 @@
 #include "support/corpus.hpp"
 #include "support/diag.hpp"
 #include "support/rng.hpp"
+#include "support/signals.hpp"
 #include "support/strings.hpp"
 
 namespace {
@@ -352,6 +353,9 @@ DivergenceRecord handle_divergence(const FuzzOptions& opt,
 // ---------------------------------------------------------------------------
 // Fuzzing campaign.
 
+/// Set by main(); lets the iteration loops stop cleanly on SIGINT/SIGTERM.
+const SignalGuard* g_signals = nullptr;
+
 int run_fuzz(const FuzzOptions& opt, RunJournal& journal) {
   const auto t0 = std::chrono::steady_clock::now();
   const DiffConfig base = make_config(opt);
@@ -361,6 +365,10 @@ int run_fuzz(const FuzzOptions& opt, RunJournal& journal) {
       const std::chrono::duration<double> elapsed =
           std::chrono::steady_clock::now() - t0;
       if (elapsed.count() >= opt.max_seconds) break;
+    }
+    if (g_signals && g_signals->interrupted()) {
+      std::fprintf(stderr, "fuzz: interrupted after %d iteration(s)\n", done);
+      break;
     }
 
     std::uint64_t stream =
@@ -602,6 +610,11 @@ int run_self_check(const FuzzOptions& opt, RunJournal& journal) {
 }  // namespace
 
 int main(int argc, char** argv) {
+  // First SIGINT/SIGTERM: finish the current iteration, finalize the
+  // journal, exit 78. Second: die with the conventional signal status.
+  CancelToken interrupt;
+  SignalGuard guard(interrupt);
+  g_signals = &guard;
   FuzzOptions opt = parse_args(argc, argv);
   if (opt.self_check && !opt.corpus_set) {
     // A bare --self-check must not write into the committed regression
@@ -627,6 +640,12 @@ int main(int argc, char** argv) {
     rc = run_replay(opt, journal);
   } else {
     rc = run_fuzz(opt, journal);
+  }
+  if (guard.interrupted()) {
+    JsonObject o;
+    o.set("event", "interrupted").set("cancelled", true);
+    journal.write(o);
+    if (rc == 0) rc = SignalGuard::kExitInterrupted;
   }
   if (!journal.healthy())
     std::fprintf(stderr, "warning: journal %s went unhealthy mid-run\n",

@@ -30,15 +30,26 @@
 //                      (every stage oracle-verified); implies --verify
 //   --journal <path>   JSONL record of every pipeline attempt
 //                      (requires --fallback)
+//   --checkpoint <path> durable crash-safe progress snapshots
+//                      (requires --fallback; docs/ROBUSTNESS.md §11)
+//   --resume <path>    continue a killed run from its checkpoint; reaches
+//                      the bit-identical result of an uninterrupted run
+//                      (requires --fallback)
 //   --trace <path>     Chrome trace_event JSON of the whole command
 //                      (load in chrome://tracing or ui.perfetto.dev)
 //   --metrics <path>   flat JSON of the named solver/kernel counters
 //                      (schemas: docs/OBSERVABILITY.md)
 //
+// SIGINT/SIGTERM: the first signal stops every solver at its next feasible
+// checkpoint; the tool writes its best-so-far result (and forces a final
+// checkpoint when --checkpoint is on) and exits 78. A second signal kills
+// the process with the conventional signal status.
+//
 // Exit codes (sysexits-style, see docs/ROBUSTNESS.md):
 //   0 success, 64 usage, 65 malformed input data, 70 internal error,
 //   75 deadline expired / degraded (partial result written),
-//   76 result verification failed (nothing written)
+//   76 result verification failed (nothing written),
+//   78 interrupted by SIGINT/SIGTERM (clean partial result written)
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -63,6 +74,7 @@
 #include "support/diag.hpp"
 #include "support/metrics.hpp"
 #include "support/parallel.hpp"
+#include "support/signals.hpp"
 #include "support/strings.hpp"
 #include "support/table.hpp"
 #include "support/trace.hpp"
@@ -84,6 +96,7 @@ using namespace serelin;
                "[--frames n] [--area-weight w]\n"
                "           [--deadline sec] [--verify] [--fallback] "
                "[--journal path]\n"
+               "           [--checkpoint path] [--resume path]\n"
                "  lint     <circuit>\n"
                "  convert  <in> <out>\n"
                "  generate <gates> <dffs> <out> [--seed s]\n"
@@ -137,6 +150,8 @@ struct Options {
   bool verify = false;      // oracle-check the result before writing it
   bool fallback = false;    // graceful-degradation pipeline
   std::string journal;      // JSONL attempt journal (--fallback only)
+  std::string checkpoint;   // durable progress snapshots (--fallback only)
+  std::string resume;       // checkpoint to continue from (--fallback only)
   std::string trace;        // Chrome trace_event JSON output path
   std::string metrics;      // counter-totals JSON output path
   std::string algorithm = "minobswin";
@@ -191,6 +206,8 @@ Options parse(int argc, char** argv, int first) {
     else if (a == "--verify") opt.verify = true;
     else if (a == "--fallback") opt.fallback = true;
     else if (a == "--journal") opt.journal = value();
+    else if (a == "--checkpoint") opt.checkpoint = value();
+    else if (a == "--resume") opt.resume = value();
     else if (a == "--trace") opt.trace = value();
     else if (a == "--metrics") opt.metrics = value();
     else if (a == "--algorithm") opt.algorithm = value();
@@ -261,6 +278,10 @@ int cmd_retime_fallback(const Options& opt, const Netlist& nl,
   po.area_weight = opt.area_weight;
   po.deadline = opt.deadline;
   po.journal_path = opt.journal;
+  // A resumed run keeps checkpointing: default the snapshot destination to
+  // the file it is resuming from, so repeated kills keep converging.
+  po.checkpoint_path = !opt.checkpoint.empty() ? opt.checkpoint : opt.resume;
+  po.resume_path = opt.resume;
   po.start = opt.algorithm == "minobs" ? PipelineStage::kMinObs
                                        : PipelineStage::kMinObsWin;
   const PipelineResult res = run_pipeline(nl, g.library(), po);
@@ -299,6 +320,8 @@ int cmd_retime(const Options& opt) {
   if (opt.positional.size() != 2) usage("retime needs <in> <out>");
   if (!opt.journal.empty() && !opt.fallback)
     usage("--journal requires --fallback");
+  if ((!opt.checkpoint.empty() || !opt.resume.empty()) && !opt.fallback)
+    usage("--checkpoint/--resume require --fallback");
   if (opt.fallback && opt.algorithm == "minarea")
     usage("--fallback starts from minobswin or minobs, not minarea");
   const Netlist nl = read_any(opt.positional[0]);
@@ -433,9 +456,15 @@ int cmd_generate(const Options& opt) {
 int main(int argc, char** argv) {
   if (argc < 2) usage();
   const std::string cmd = argv[1];
+  // First SIGINT/SIGTERM: cancel cooperatively — solvers stop at their
+  // next feasible checkpoint and the tool exits 78 with a legal partial
+  // result. Second signal: die with the conventional signal status.
+  CancelToken interrupt;
+  SignalGuard guard(interrupt);
   try {
     Options opt = parse(argc, argv, 2);
     if (opt.threads < 0) usage("--threads must be >= 0 (0 = hardware)");
+    opt.deadline.attach(interrupt);
     set_execution_threads(opt.threads);
     const bool instrument = !opt.trace.empty() || !opt.metrics.empty();
     if (instrument && !trace_compiled_in())
@@ -458,8 +487,19 @@ int main(int argc, char** argv) {
     }
     if (!opt.metrics.empty())
       write_metrics_json(metrics_snapshot() - metrics_before, opt.metrics);
+    // An operator interrupt outranks "success"/"degraded": whatever was
+    // written is a clean best-so-far artifact, and 78 tells the caller
+    // the run was cut short by a signal, not by its own budget.
+    if (guard.interrupted() && (rc == 0 || rc == 75))
+      rc = SignalGuard::kExitInterrupted;
     return rc;
   } catch (const CancelledError& e) {
+    if (guard.interrupted()) {
+      // The signal's CancelToken cancelled an all-or-nothing kernel
+      // before any partial result existed.
+      std::fprintf(stderr, "interrupted: %s\n", e.what());
+      return SignalGuard::kExitInterrupted;
+    }
     // An all-or-nothing kernel hit the --deadline before any partial
     // result existed; there is nothing useful to write.
     std::fprintf(stderr, "deadline: %s\n", e.what());

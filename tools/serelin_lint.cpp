@@ -72,6 +72,11 @@ constexpr RuleInfo kRules[] = {
      "src/core/wd_query.* and src/check/* — everything else must go "
      "through the make_wd_query interface, which picks the dense engine "
      "only below the size threshold (docs/SPARSE_WD.md)"},
+    {"no-bare-artifact-write",
+     "std::ofstream and fopen-for-write are banned outside "
+     "src/support/atomic_io.* — artifacts must go through "
+     "atomic_write_file or JournalWriter so a crash can never leave a "
+     "torn or half-written file (docs/ROBUSTNESS.md §11)"},
     {"diag-code-name",
      "every DiagCode enumerator in src/support/diag.hpp must have a "
      "diag_code_name case in src/support/diag.cpp"},
@@ -367,6 +372,38 @@ void rule_wd_dense_gated(const SourceFile& f, std::vector<Finding>& out) {
 }
 
 // ---------------------------------------------------------------------------
+// Rule: no-bare-artifact-write
+
+/// Only the durable-write substrate itself may open files for writing;
+/// everything else goes through atomic_write_file / JournalWriter.
+bool artifact_write_exempt(const std::string& rel) {
+  return rel == "src/support/atomic_io.cpp" ||
+         rel == "src/support/atomic_io.hpp";
+}
+
+void rule_bare_artifact_write(const SourceFile& f,
+                              std::vector<Finding>& out) {
+  if (artifact_write_exempt(f.rel)) return;
+  for (std::size_t li = 0; li < f.code.size(); ++li) {
+    const std::string& line = f.code[li];
+    bool hit = find_token(line, "ofstream") != std::string::npos;
+    if (!hit && find_token(line, "fopen") != std::string::npos) {
+      // Mode literals are blanked in the stripped text; consult the raw
+      // line. Read-side fopen ("r", "rb") stays legal — only a write or
+      // append mode can tear an artifact.
+      const std::string& raw = f.raw[li];
+      hit = raw.find("\"w") != std::string::npos ||
+            raw.find("\"a") != std::string::npos;
+    }
+    if (hit)
+      report(out, f, static_cast<int>(li + 1), "no-bare-artifact-write",
+             "bare file write; route artifacts through atomic_write_file "
+             "or JournalWriter (support/atomic_io.hpp) so a crash cannot "
+             "leave a torn file (docs/ROBUSTNESS.md §11)");
+  }
+}
+
+// ---------------------------------------------------------------------------
 // Rule: no-unordered-range-for
 
 bool in_reduction_dirs(const std::string& rel) {
@@ -568,6 +605,12 @@ void rule_exit_codes(const std::vector<SourceFile>& files,
           pos = find_token(line, kw, pos + 1);
         }
       }
+      // The interrupted exit travels as a named constant, not a literal
+      // (SignalGuard::kExitInterrupted == 78): count it as a use so the
+      // registry row for 78 is not flagged as dead.
+      if (find_token(line, "kExitInterrupted") != std::string::npos &&
+          find_token(line, "constexpr") == std::string::npos)
+        used.emplace(78, Use{&f, static_cast<int>(li + 1)});
     }
   }
   if (!any_tool) return;
@@ -682,7 +725,10 @@ struct CompileChecker {
 
   void probe() {
     if (cxx.empty()) return;
-    std::ofstream(scratch) << "int main() { return 0; }\n";
+    // Scratch TU, not an artifact: overwritten every probe, never read
+    // back after a crash.
+    std::ofstream(scratch)  // NOLINT(serelin-no-bare-artifact-write)
+        << "int main() { return 0; }\n";
     available = run_on(scratch).empty();
     if (!available)
       std::cerr << "serelin_lint: note: compiler '" << cxx
@@ -717,7 +763,7 @@ void rule_header_self_sufficient(const SourceFile& f,
   // header out, mirroring the per-line suppression of the lexical rules.
   if (!f.raw.empty() && nolint_suppressed(f.raw[0], "header-self-sufficient"))
     return;
-  std::ofstream(checker.scratch)
+  std::ofstream(checker.scratch)  // NOLINT(serelin-no-bare-artifact-write)
       << "#include \"" << f.rel.substr(4) << "\"\n"
       << "int main() { return 0; }\n";
   const std::string error = checker.run_on(checker.scratch);
@@ -837,6 +883,8 @@ int main(int argc, char** argv) {
       if (enabled("no-unordered-range-for"))
         rule_unordered_range_for(f, findings);
       if (enabled("wd-dense-gated")) rule_wd_dense_gated(f, findings);
+      if (enabled("no-bare-artifact-write"))
+        rule_bare_artifact_write(f, findings);
       if (enabled("trace-macro-pure")) rule_trace_macro_pure(f, findings);
       if (enabled("header-self-sufficient"))
         rule_header_self_sufficient(f, checker, findings);

@@ -11,6 +11,8 @@
 #   fault     seeded fault-injection smoke + corpus replay under ASan+UBSan
 #   fuzzdiff  differential solver fuzzing: self-check, fixed-seed sweep,
 #             committed-corpus replay under ASan+UBSan
+#   crash     process-kill torture: SIGKILL at seeded points mid-write,
+#             resume, assert bit-identical results and untorn artifacts
 #
 #   tools/verify.sh [--fast] [--skip-static] [--skip-tsan] [--skip-asan]
 #                   [--stage NAME]...
@@ -48,7 +50,7 @@ while [[ $# -gt 0 ]]; do
       shift ;;
     *) echo "usage: tools/verify.sh [--fast] [--skip-static] [--skip-tsan]" \
             "[--skip-asan]" \
-            "[--stage static|tier1|examples|tsan|asan|fault|fuzzdiff]..." >&2
+            "[--stage static|tier1|examples|tsan|asan|fault|fuzzdiff|crash]..." >&2
        exit 64 ;;
   esac
   shift
@@ -57,7 +59,7 @@ done
 if [[ ${#STAGES[@]} -eq 0 ]]; then
   STAGES=()
   [[ "$SKIP_STATIC" == 1 ]] || STAGES+=(static)
-  STAGES+=(tier1 examples)
+  STAGES+=(tier1 examples crash)
   [[ "$SKIP_TSAN" == 1 ]] || STAGES+=(tsan)
   [[ "$SKIP_ASAN" == 1 ]] || STAGES+=(asan fault fuzzdiff)
 fi
@@ -193,6 +195,27 @@ stage_fuzzdiff() {
   ./build-asan/tools/fuzz_solvers --replay tests/corpus/found
 }
 
+stage_crash() {
+  echo "== crash: process-kill torture of checkpoint/resume =="
+  cmake -B build -S . > /dev/null
+  cmake --build build -j"$(nproc)" --target crash_harness
+  # 1/2 — self-check: a hand-torn journal must be detected and recovered,
+  # a byte-flipped checkpoint rejected, a mini campaign must land kills —
+  # detection power first, as with the fuzzers (docs/ROBUSTNESS.md §11).
+  ./build/tools/crash_harness --self-check --out build/crash-selfcheck
+  # 2/2 — the campaign: fork the solve, SIGKILL it at seeded crash points
+  # (including inside atomic write windows and between journal frame
+  # halves), resume from the scratch the kill left behind, and demand a
+  # bit-identical, oracle-verified result with zero torn artifacts. The
+  # SERELIN_CRASH_* knobs let the nightly job rotate seeds and scale up.
+  ./build/tools/crash_harness \
+      --seed "${SERELIN_CRASH_SEED:-1}" \
+      --trials "${SERELIN_CRASH_TRIALS:-4}" \
+      --kills "${SERELIN_CRASH_KILLS:-40}" \
+      --max-seconds "${SERELIN_CRASH_SECONDS:-90}" \
+      --out build/crash-harness
+}
+
 for stage in "${STAGES[@]}"; do
   case "$stage" in
     static) stage_static ;;
@@ -202,6 +225,7 @@ for stage in "${STAGES[@]}"; do
     asan) stage_asan ;;
     fault) stage_fault ;;
     fuzzdiff) stage_fuzzdiff ;;
+    crash) stage_crash ;;
     *) echo "verify: unknown stage '$stage'" >&2; exit 64 ;;
   esac
 done
