@@ -142,6 +142,7 @@ RunJournal::RunJournal(const std::string& path, JournalWriter::Mode mode)
     : writer_(path, mode) {}
 
 void RunJournal::write(const JsonObject& obj) {
+  if (observer_) observer_(obj.str());
   if (!writer_.enabled() || !writer_.healthy()) return;
   SERELIN_COUNT(kJournalWrites, 1);
   writer_.append(obj.str());

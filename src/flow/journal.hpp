@@ -20,6 +20,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <optional>
 #include <string>
 
@@ -67,6 +68,12 @@ std::optional<std::string> json_string_field(const std::string& record,
 std::optional<bool> json_bool_field(const std::string& record,
                                     const std::string& key);
 
+/// Receives every journal record as it is written (before the durable
+/// append), so a live consumer — the job server streaming events to a
+/// client — sees the run unfold without tailing the framed file. The
+/// callback runs on the writing thread and must not throw.
+using JournalObserver = std::function<void(const std::string& record)>;
+
 class RunJournal {
  public:
   /// Disabled journal: write() is a no-op, healthy() stays true.
@@ -86,11 +93,20 @@ class RunJournal {
   const std::string& path() const { return writer_.path(); }
 
   /// Appends one framed JSONL record and fsyncs it (so partial runs
-  /// journal, and a crash tears at most the trailing frame).
+  /// journal, and a crash tears at most the trailing frame). The observer
+  /// (when set) sees the record even when no file is attached.
   void write(const JsonObject& obj);
+
+  /// Mirrors every subsequent record to `observer`. Works on a disabled
+  /// (fileless) journal too: an observer-only journal streams without
+  /// touching disk.
+  void set_observer(JournalObserver observer) {
+    observer_ = std::move(observer);
+  }
 
  private:
   JournalWriter writer_;
+  JournalObserver observer_;
 };
 
 }  // namespace serelin

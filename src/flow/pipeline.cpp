@@ -200,6 +200,7 @@ PipelineResult run_pipeline(const Netlist& nl, const CellLibrary& lib,
                        options.resume_path.empty()
                            ? JournalWriter::Mode::kTruncate
                            : JournalWriter::Mode::kAppend);
+  if (options.journal_observer) journal.set_observer(options.journal_observer);
   PipelineResult out;
   out.journal_path = options.journal_path;
 

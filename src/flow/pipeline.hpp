@@ -26,6 +26,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <string>
 #include <vector>
 
@@ -74,6 +75,11 @@ struct PipelineOptions {
   double stage_budget_s = 0.0;
   /// JSONL journal path; empty = no journal. Opening failure throws.
   std::string journal_path;
+  /// Live mirror of every journal record (flow/journal.hpp's
+  /// JournalObserver): the job server streams pipeline events to clients
+  /// through this. Works with or without `journal_path`; the callback runs
+  /// on the solving thread and must not throw.
+  std::function<void(const std::string& record)> journal_observer;
   /// First stage to try (earlier stages are skipped, e.g. kMinObs when
   /// the caller never wanted ELW constraints).
   PipelineStage start = PipelineStage::kMinObsWin;

@@ -1,0 +1,50 @@
+#include "serve/cache.hpp"
+
+namespace serelin {
+
+std::optional<CachedResult> ResultCache::lookup(std::uint64_t key) {
+  if (capacity_ == 0) return std::nullopt;
+  MutexLock lock(mutex_);
+  const auto it = index_.find(key);
+  if (it == index_.end()) {
+    ++misses_;
+    return std::nullopt;
+  }
+  lru_.splice(lru_.begin(), lru_, it->second);
+  ++hits_;
+  return it->second->result;
+}
+
+void ResultCache::insert(std::uint64_t key, CachedResult result) {
+  if (capacity_ == 0) return;
+  MutexLock lock(mutex_);
+  const auto it = index_.find(key);
+  if (it != index_.end()) {
+    it->second->result = std::move(result);
+    lru_.splice(lru_.begin(), lru_, it->second);
+    return;
+  }
+  lru_.push_front(Entry{key, std::move(result)});
+  index_[key] = lru_.begin();
+  while (lru_.size() > capacity_) {
+    index_.erase(lru_.back().key);
+    lru_.pop_back();
+  }
+}
+
+std::int64_t ResultCache::hits() const {
+  MutexLock lock(mutex_);
+  return hits_;
+}
+
+std::int64_t ResultCache::misses() const {
+  MutexLock lock(mutex_);
+  return misses_;
+}
+
+std::size_t ResultCache::size() const {
+  MutexLock lock(mutex_);
+  return lru_.size();
+}
+
+}  // namespace serelin

@@ -1,0 +1,68 @@
+// Bounded LRU cache of completed retiming results, keyed by
+// pipeline_fingerprint(circuit, options) — the same digest that guards
+// checkpoint resume, so a key collision-free hit is by construction the
+// result of the *identical* circuit under the *identical* result-affecting
+// configuration (docs/SERVING.md).
+//
+// Only clean results are admitted: a run that degraded, stopped on a
+// deadline, or was cancelled is timing-dependent, and caching it would
+// break the contract that a hit is bit-identical to what a fresh run
+// would produce. The eviction policy is plain LRU over a fixed entry
+// budget; entries are small (a bench text plus scalars), so a few hundred
+// of them is megabytes, not gigabytes.
+#pragma once
+
+#include <cstdint>
+#include <list>
+#include <optional>
+#include <string>
+#include <unordered_map>
+
+#include "support/annotations.hpp"
+#include "support/sync.hpp"
+
+namespace serelin {
+
+/// Everything a cache hit must reproduce bit-identically.
+struct CachedResult {
+  std::string circuit_text;  ///< retimed netlist, canonical BENCH text
+  std::string stage;         ///< accepted pipeline stage name
+  double period = 0.0;       ///< Φ the result is verified against
+  double rmin = 0.0;         ///< R_min in force for the accepted stage
+  std::int64_t objective_gain = 0;
+  bool verified = false;     ///< the oracle signed the result off
+};
+
+class ResultCache {
+ public:
+  /// `capacity` = max retained entries; 0 disables the cache entirely.
+  explicit ResultCache(std::size_t capacity) : capacity_(capacity) {}
+
+  /// Hit: returns the cached result and refreshes its LRU position.
+  std::optional<CachedResult> lookup(std::uint64_t key);
+
+  /// Admits (or refreshes) an entry, evicting the least-recently-used
+  /// one beyond capacity.
+  void insert(std::uint64_t key, CachedResult result);
+
+  std::int64_t hits() const;
+  std::int64_t misses() const;
+  std::size_t size() const;
+
+ private:
+  struct Entry {
+    std::uint64_t key = 0;
+    CachedResult result;
+  };
+
+  const std::size_t capacity_;
+  mutable Mutex mutex_;
+  /// Most-recently-used at the front.
+  std::list<Entry> lru_ SERELIN_GUARDED_BY(mutex_);
+  std::unordered_map<std::uint64_t, std::list<Entry>::iterator> index_
+      SERELIN_GUARDED_BY(mutex_);
+  std::int64_t hits_ SERELIN_GUARDED_BY(mutex_) = 0;
+  std::int64_t misses_ SERELIN_GUARDED_BY(mutex_) = 0;
+};
+
+}  // namespace serelin

@@ -1,0 +1,265 @@
+#include "serve/protocol.hpp"
+
+#include <cctype>
+#include <cmath>
+#include <cstdlib>
+
+namespace serelin {
+
+namespace {
+
+/// Strict single-pass JSON reader over one request line. Only top-level
+/// scalars are materialized; nested objects/arrays are skipped with their
+/// raw text retained (Kind::kNested) so the dispatcher can reject them by
+/// name instead of silently dropping them.
+class Reader {
+ public:
+  explicit Reader(const std::string& text, bool require_op)
+      : s_(text), require_op_(require_op) {}
+
+  bool parse(Request& out, std::string& error) {
+    skip_ws();
+    if (!eat('{')) return fail(error, "expected '{'");
+    skip_ws();
+    if (eat('}')) return finish(out, error);
+    for (;;) {
+      std::string key;
+      if (!parse_string(key)) return fail(error, "expected string key");
+      skip_ws();
+      if (!eat(':')) return fail(error, "expected ':' after key");
+      skip_ws();
+      JsonValue value;
+      if (!parse_value(value)) return fail(error, "bad value for '" + key + "'");
+      if (!out.fields.emplace(key, std::move(value)).second)
+        return fail(error, "duplicate key '" + key + "'");
+      skip_ws();
+      if (eat(',')) {
+        skip_ws();
+        continue;
+      }
+      if (eat('}')) return finish(out, error);
+      return fail(error, "expected ',' or '}'");
+    }
+  }
+
+ private:
+  bool finish(Request& out, std::string& error) {
+    skip_ws();
+    if (pos_ != s_.size()) return fail(error, "trailing bytes after object");
+    const auto op = out.fields.find("op");
+    if (op != out.fields.end() &&
+        op->second.kind == JsonValue::Kind::kString) {
+      out.op = op->second.str;
+      out.fields.erase(op);
+    } else if (require_op_) {
+      return fail(error, "missing string field 'op'");
+    }
+    return true;
+  }
+
+  bool fail(std::string& error, const std::string& what) {
+    error = what + " at byte " + std::to_string(pos_);
+    return false;
+  }
+
+  void skip_ws() {
+    while (pos_ < s_.size() &&
+           (s_[pos_] == ' ' || s_[pos_] == '\t' || s_[pos_] == '\r'))
+      ++pos_;
+  }
+
+  bool eat(char c) {
+    if (pos_ < s_.size() && s_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  bool parse_value(JsonValue& out) {
+    if (pos_ >= s_.size()) return false;
+    const char c = s_[pos_];
+    if (c == '"') {
+      out.kind = JsonValue::Kind::kString;
+      return parse_string(out.str);
+    }
+    if (c == 't' || c == 'f') {
+      const bool v = c == 't';
+      const char* word = v ? "true" : "false";
+      const std::size_t n = v ? 4 : 5;
+      if (s_.compare(pos_, n, word) != 0) return false;
+      pos_ += n;
+      out.kind = JsonValue::Kind::kBool;
+      out.boolean = v;
+      return true;
+    }
+    if (c == 'n') {
+      if (s_.compare(pos_, 4, "null") != 0) return false;
+      pos_ += 4;
+      out.kind = JsonValue::Kind::kNull;
+      return true;
+    }
+    if (c == '{' || c == '[') {
+      const std::size_t start = pos_;
+      if (!skip_nested()) return false;
+      out.kind = JsonValue::Kind::kNested;
+      out.str = s_.substr(start, pos_ - start);
+      return true;
+    }
+    return parse_number(out);
+  }
+
+  bool parse_number(JsonValue& out) {
+    const std::size_t start = pos_;
+    if (pos_ < s_.size() && s_[pos_] == '-') ++pos_;
+    auto digits = [&] {
+      const std::size_t before = pos_;
+      while (pos_ < s_.size() &&
+             std::isdigit(static_cast<unsigned char>(s_[pos_])))
+        ++pos_;
+      return pos_ > before;
+    };
+    if (!digits()) return false;
+    if (pos_ < s_.size() && s_[pos_] == '.') {
+      ++pos_;
+      if (!digits()) return false;
+    }
+    if (pos_ < s_.size() && (s_[pos_] == 'e' || s_[pos_] == 'E')) {
+      ++pos_;
+      if (pos_ < s_.size() && (s_[pos_] == '+' || s_[pos_] == '-')) ++pos_;
+      if (!digits()) return false;
+    }
+    const std::string text = s_.substr(start, pos_ - start);
+    char* end = nullptr;
+    const double v = std::strtod(text.c_str(), &end);
+    if (end != text.c_str() + text.size() || !std::isfinite(v)) return false;
+    out.kind = JsonValue::Kind::kNumber;
+    out.num = v;
+    return true;
+  }
+
+  bool parse_string(std::string& out) {
+    if (!eat('"')) return false;
+    out.clear();
+    while (pos_ < s_.size()) {
+      const char c = s_[pos_++];
+      if (c == '"') return true;
+      if (static_cast<unsigned char>(c) < 0x20) return false;  // bare control
+      if (c != '\\') {
+        out += c;
+        continue;
+      }
+      if (pos_ >= s_.size()) return false;
+      const char e = s_[pos_++];
+      switch (e) {
+        case '"': out += '"'; break;
+        case '\\': out += '\\'; break;
+        case '/': out += '/'; break;
+        case 'b': out += '\b'; break;
+        case 'f': out += '\f'; break;
+        case 'n': out += '\n'; break;
+        case 'r': out += '\r'; break;
+        case 't': out += '\t'; break;
+        case 'u': {
+          if (pos_ + 4 > s_.size()) return false;
+          unsigned code = 0;
+          for (int i = 0; i < 4; ++i) {
+            const char h = s_[pos_++];
+            code <<= 4;
+            if (h >= '0' && h <= '9') code |= static_cast<unsigned>(h - '0');
+            else if (h >= 'a' && h <= 'f')
+              code |= static_cast<unsigned>(h - 'a' + 10);
+            else if (h >= 'A' && h <= 'F')
+              code |= static_cast<unsigned>(h - 'A' + 10);
+            else return false;
+          }
+          // The project's own writer only emits \u00XX for control bytes;
+          // encode the general case as UTF-8 so round trips are lossless.
+          if (code < 0x80) {
+            out += static_cast<char>(code);
+          } else if (code < 0x800) {
+            out += static_cast<char>(0xC0 | (code >> 6));
+            out += static_cast<char>(0x80 | (code & 0x3F));
+          } else {
+            out += static_cast<char>(0xE0 | (code >> 12));
+            out += static_cast<char>(0x80 | ((code >> 6) & 0x3F));
+            out += static_cast<char>(0x80 | (code & 0x3F));
+          }
+          break;
+        }
+        default: return false;
+      }
+    }
+    return false;  // unterminated
+  }
+
+  /// Structurally skips a balanced object/array (strings respected).
+  bool skip_nested() {
+    int depth = 0;
+    while (pos_ < s_.size()) {
+      const char c = s_[pos_];
+      if (c == '"') {
+        std::string scratch;
+        if (!parse_string(scratch)) return false;
+        continue;
+      }
+      ++pos_;
+      if (c == '{' || c == '[') ++depth;
+      else if (c == '}' || c == ']') {
+        if (--depth == 0) return true;
+        if (depth < 0) return false;
+      }
+    }
+    return false;
+  }
+
+  const std::string& s_;
+  bool require_op_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+std::optional<std::string> Request::get_string(const std::string& key) const {
+  const auto it = fields.find(key);
+  if (it == fields.end() || it->second.kind != JsonValue::Kind::kString)
+    return std::nullopt;
+  return it->second.str;
+}
+
+std::optional<double> Request::get_number(const std::string& key) const {
+  const auto it = fields.find(key);
+  if (it == fields.end() || it->second.kind != JsonValue::Kind::kNumber)
+    return std::nullopt;
+  return it->second.num;
+}
+
+std::optional<std::int64_t> Request::get_int(const std::string& key) const {
+  const auto v = get_number(key);
+  if (!v || *v != std::floor(*v) || *v < -9.0e18 || *v > 9.0e18)
+    return std::nullopt;
+  return static_cast<std::int64_t>(*v);
+}
+
+std::optional<bool> Request::get_bool(const std::string& key) const {
+  const auto it = fields.find(key);
+  if (it == fields.end() || it->second.kind != JsonValue::Kind::kBool)
+    return std::nullopt;
+  return it->second.boolean;
+}
+
+ParseOutcome parse_request(const std::string& line) {
+  ParseOutcome out;
+  Reader reader(line, /*require_op=*/true);
+  out.ok = reader.parse(out.request, out.error);
+  return out;
+}
+
+ParseOutcome parse_object(const std::string& line) {
+  ParseOutcome out;
+  Reader reader(line, /*require_op=*/false);
+  out.ok = reader.parse(out.request, out.error);
+  return out;
+}
+
+}  // namespace serelin

@@ -1,0 +1,60 @@
+// The serve wire protocol: newline-delimited JSON requests and responses
+// (one object per line; full schema in docs/SERVING.md).
+//
+// Requests are flat JSON objects — {"op":"submit","circuit":"...",...} —
+// so the parser here is a small, strict RFC-8259 reader that keeps
+// top-level scalar fields and skips nested values structurally (a client
+// sending an unexpected nested object gets "unknown field", not a
+// misparse). Responses are built with flow/journal.hpp's JsonObject,
+// which is already the project's JSON writer.
+//
+// Parsing a request never throws: a malformed line becomes a structured
+// ParseOutcome error, the connection answers {"ok":false,"error":
+// "bad-json",...} and stays open — one bad tenant must not take down a
+// session that other requests share.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+
+namespace serelin {
+
+/// One decoded top-level field of a request object.
+struct JsonValue {
+  enum class Kind : std::uint8_t { kString, kNumber, kBool, kNull, kNested };
+  Kind kind = Kind::kNull;
+  std::string str;     ///< kString: unescaped contents; kNested: raw text
+  double num = 0.0;    ///< kNumber
+  bool boolean = false;  ///< kBool
+};
+
+/// A parsed request line: the op plus every other top-level field.
+struct Request {
+  std::string op;
+  std::map<std::string, JsonValue> fields;
+
+  /// Typed field access; nullopt when absent or of the wrong kind.
+  std::optional<std::string> get_string(const std::string& key) const;
+  std::optional<double> get_number(const std::string& key) const;
+  std::optional<std::int64_t> get_int(const std::string& key) const;
+  std::optional<bool> get_bool(const std::string& key) const;
+};
+
+/// Result of parsing one request line.
+struct ParseOutcome {
+  bool ok = false;
+  Request request;    ///< valid when ok
+  std::string error;  ///< parse diagnostic when !ok
+};
+
+/// Parses one line into a Request. Strict JSON; the object must carry a
+/// string "op" field. Never throws.
+ParseOutcome parse_request(const std::string& line);
+
+/// Same parser without the "op" requirement — for the client side reading
+/// response objects (`op` stays empty; every field lands in `fields`).
+ParseOutcome parse_object(const std::string& line);
+
+}  // namespace serelin

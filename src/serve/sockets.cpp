@@ -1,0 +1,156 @@
+#include "serve/sockets.hpp"
+
+#include <cerrno>
+#include <cstring>
+
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+namespace serelin {
+
+namespace {
+
+std::string errno_detail(const char* what) {
+  return std::string(what) + ": " + std::strerror(errno);
+}
+
+sockaddr_un make_addr(const std::string& path) {
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  SERELIN_REQUIRE(path.size() < sizeof(addr.sun_path),
+                  "unix socket path too long: " + path);
+  std::memcpy(addr.sun_path, path.c_str(), path.size() + 1);
+  return addr;
+}
+
+/// poll() one fd for readability; returns false on timeout.
+bool wait_readable(int fd, int timeout_ms) {
+  pollfd p{};
+  p.fd = fd;
+  p.events = POLLIN;
+  for (;;) {
+    const int rc = ::poll(&p, 1, timeout_ms);
+    if (rc > 0) return true;
+    if (rc == 0) return false;
+    if (errno == EINTR) continue;  // signals are handled at the loop level
+    return true;  // let the subsequent read/accept surface the real error
+  }
+}
+
+}  // namespace
+
+void Fd::reset() {
+  if (fd_ >= 0) ::close(fd_);
+  fd_ = -1;
+}
+
+UnixStream UnixStream::connect(const std::string& path) {
+  Fd fd(::socket(AF_UNIX, SOCK_STREAM, 0));
+  if (!fd.valid()) throw Error(errno_detail("socket"));
+  const sockaddr_un addr = make_addr(path);
+  if (::connect(fd.get(), reinterpret_cast<const sockaddr*>(&addr),
+                sizeof(addr)) != 0)
+    throw Error(errno_detail(("connect " + path).c_str()));
+  return UnixStream(std::move(fd));
+}
+
+UnixStream::ReadStatus UnixStream::read_line(std::string& out, int timeout_ms,
+                                             std::size_t max_line) {
+  for (;;) {
+    const std::size_t nl = buffer_.find('\n');
+    if (nl != std::string::npos) {
+      out.assign(buffer_, 0, nl);
+      buffer_.erase(0, nl + 1);
+      return ReadStatus::kLine;
+    }
+    if (buffer_.size() > max_line) return ReadStatus::kError;
+    if (eof_) return ReadStatus::kEof;
+    if (!fd_.valid()) return ReadStatus::kError;
+    if (!wait_readable(fd_.get(), timeout_ms)) return ReadStatus::kTimeout;
+    char chunk[4096];
+    const ssize_t n = ::recv(fd_.get(), chunk, sizeof(chunk), 0);
+    if (n > 0) {
+      buffer_.append(chunk, static_cast<std::size_t>(n));
+      continue;
+    }
+    if (n == 0) {
+      eof_ = true;
+      continue;  // deliver any final unterminated bytes as EOF, not a line
+    }
+    if (errno == EINTR) continue;
+    return ReadStatus::kError;
+  }
+}
+
+bool UnixStream::write_line(const std::string& line) {
+  if (!fd_.valid()) return false;
+  std::string framed = line;
+  framed.push_back('\n');
+  std::size_t sent = 0;
+  while (sent < framed.size()) {
+    // MSG_NOSIGNAL: a peer that hung up must surface as EPIPE, never as a
+    // process-killing SIGPIPE.
+    const ssize_t n = ::send(fd_.get(), framed.data() + sent,
+                             framed.size() - sent, MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    sent += static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+void UnixListener::bind(const std::string& path, int backlog) {
+  SERELIN_REQUIRE(!fd_.valid(), "listener is already bound");
+  Fd fd(::socket(AF_UNIX, SOCK_STREAM, 0));
+  if (!fd.valid()) throw Error(errno_detail("socket"));
+  const sockaddr_un addr = make_addr(path);
+  if (::bind(fd.get(), reinterpret_cast<const sockaddr*>(&addr),
+             sizeof(addr)) != 0) {
+    if (errno != EADDRINUSE)
+      throw BindError(errno_detail(("bind " + path).c_str()));
+    // A socket file already exists. A *live* server accepts connections;
+    // a stale file from a crashed one refuses them and is safe to reclaim.
+    Fd probe(::socket(AF_UNIX, SOCK_STREAM, 0));
+    if (probe.valid() &&
+        ::connect(probe.get(), reinterpret_cast<const sockaddr*>(&addr),
+                  sizeof(addr)) == 0)
+      throw BindError("bind " + path + ": address already in use "
+                      "(another server is listening)");
+    ::unlink(path.c_str());
+    if (::bind(fd.get(), reinterpret_cast<const sockaddr*>(&addr),
+               sizeof(addr)) != 0)
+      throw BindError(errno_detail(("bind " + path).c_str()));
+  }
+  if (::listen(fd.get(), backlog) != 0) {
+    ::unlink(path.c_str());
+    throw Error(errno_detail(("listen " + path).c_str()));
+  }
+  fd_ = std::move(fd);
+  path_ = path;
+}
+
+UnixStream UnixListener::accept(int timeout_ms) {
+  SERELIN_REQUIRE(fd_.valid(), "accept on a closed listener");
+  if (!wait_readable(fd_.get(), timeout_ms)) return UnixStream();
+  Fd conn(::accept(fd_.get(), nullptr, nullptr));
+  if (!conn.valid()) {
+    if (errno == EINTR || errno == EAGAIN || errno == EWOULDBLOCK ||
+        errno == ECONNABORTED)
+      return UnixStream();
+    throw Error(errno_detail("accept"));
+  }
+  return UnixStream(std::move(conn));
+}
+
+void UnixListener::close() {
+  if (fd_.valid()) {
+    fd_.reset();
+    ::unlink(path_.c_str());
+  }
+}
+
+}  // namespace serelin

@@ -1,0 +1,123 @@
+// Minimal RAII wrappers over AF_UNIX stream sockets for the job server
+// (docs/SERVING.md). Local sockets only: the server is a same-host
+// multi-tenant daemon, so there is no TLS/authn surface here — the socket
+// file's permissions are the access control.
+//
+// Both ends speak newline-delimited JSON (one request or response object
+// per line), so the only I/O primitives needed are a buffered line reader
+// with a poll timeout and an all-or-nothing line writer. Reads are
+// timeout-sliced rather than blocking forever: every caller loops on a
+// stop condition (server drain, client deadline) between slices.
+#pragma once
+
+#include <cstddef>
+#include <string>
+
+#include "support/check.hpp"
+
+namespace serelin {
+
+/// bind() failed — most often the address is already in use by a live
+/// server. Tools map this to the registered exit code 79
+/// (docs/ROBUSTNESS.md §5).
+class BindError : public Error {
+ public:
+  using Error::Error;
+};
+
+/// Owning file descriptor; -1 means "none".
+class Fd {
+ public:
+  Fd() = default;
+  explicit Fd(int fd) : fd_(fd) {}
+  ~Fd() { reset(); }
+
+  Fd(Fd&& other) noexcept : fd_(other.fd_) { other.fd_ = -1; }
+  Fd& operator=(Fd&& other) noexcept {
+    if (this != &other) {
+      reset();
+      fd_ = other.fd_;
+      other.fd_ = -1;
+    }
+    return *this;
+  }
+  Fd(const Fd&) = delete;
+  Fd& operator=(const Fd&) = delete;
+
+  int get() const { return fd_; }
+  bool valid() const { return fd_ >= 0; }
+  void reset();
+
+ private:
+  int fd_ = -1;
+};
+
+/// One connected stream with a buffered line reader.
+class UnixStream {
+ public:
+  UnixStream() = default;
+  explicit UnixStream(Fd fd) : fd_(std::move(fd)) {}
+
+  /// Connects to a listening unix socket. Throws serelin::Error when the
+  /// path does not exist or nothing is accepting.
+  static UnixStream connect(const std::string& path);
+
+  bool valid() const { return fd_.valid(); }
+  void close() { fd_.reset(); }
+
+  enum class ReadStatus {
+    kLine,     ///< `out` holds one complete line (newline stripped)
+    kTimeout,  ///< no complete line arrived within the slice
+    kEof,      ///< peer closed cleanly (no buffered partial line remains)
+    kError,    ///< read failed; the stream is dead
+  };
+
+  /// Waits up to `timeout_ms` for one newline-terminated line. Lines
+  /// longer than `max_line` bytes are an error (a malformed or hostile
+  /// peer must not buffer the server into the ground).
+  ReadStatus read_line(std::string& out, int timeout_ms,
+                       std::size_t max_line = 16u << 20);
+
+  /// Writes `line` plus a trailing newline, retrying partial writes.
+  /// Returns false when the peer is gone (EPIPE and friends); never
+  /// raises SIGPIPE.
+  bool write_line(const std::string& line);
+
+ private:
+  Fd fd_;
+  std::string buffer_;  ///< bytes read past the last returned line
+  bool eof_ = false;
+};
+
+/// Listening unix socket bound to a filesystem path.
+class UnixListener {
+ public:
+  UnixListener() = default;
+
+  /// Binds and listens on `path`. A stale socket file left by a dead
+  /// server (connect() refused) is removed and rebound; a live one (or
+  /// any other bind failure) throws BindError. Throws serelin::Error on
+  /// non-bind failures (socket(), listen()).
+  void bind(const std::string& path, int backlog = 64);
+
+  bool listening() const { return fd_.valid(); }
+
+  /// Waits up to `timeout_ms` for one connection. Returns an invalid
+  /// stream on timeout; throws serelin::Error on accept failure.
+  UnixStream accept(int timeout_ms);
+
+  /// Closes the socket and unlinks the path (idempotent).
+  void close();
+
+  const std::string& path() const { return path_; }
+
+  ~UnixListener() { close(); }
+  UnixListener(const UnixListener&) = delete;
+  UnixListener& operator=(const UnixListener&) = delete;
+
+ private:
+  Fd fd_;
+  std::string path_;
+};
+
+}  // namespace serelin

@@ -33,6 +33,9 @@ const char* counter_name(Counter c) {
     case Counter::kDeadlineSlices: return "deadline-slices";
     case Counter::kJournalWrites: return "journal-writes";
     case Counter::kGuidedChunks: return "guided-chunks";
+    case Counter::kServeJobs: return "serve-jobs";
+    case Counter::kServeCacheHits: return "serve-cache-hits";
+    case Counter::kServeCacheMisses: return "serve-cache-misses";
     case Counter::kCount: break;
   }
   return "unknown";

@@ -21,6 +21,7 @@
 // waits must always sit in a predicate loop as above.
 #pragma once
 
+#include <chrono>
 #include <condition_variable>
 #include <mutex>
 
@@ -75,6 +76,17 @@ class CondVar {
   void wait(Mutex& mutex) SERELIN_REQUIRES(mutex) {
     std::unique_lock<std::mutex> relock(mutex.m_, std::adopt_lock);
     cv_.wait(relock);
+    relock.release();  // ownership stays with the caller's MutexLock
+  }
+
+  /// One bounded wait: returns after a notify, a spurious wakeup, or at
+  /// most `ms` milliseconds — callers loop on their predicate exactly as
+  /// with wait(). Used where a blocked thread must also notice a flag no
+  /// notifier is obligated to signal (server drain, job-delay holds).
+  void wait_for(Mutex& mutex, std::chrono::milliseconds ms)
+      SERELIN_REQUIRES(mutex) {
+    std::unique_lock<std::mutex> relock(mutex.m_, std::adopt_lock);
+    cv_.wait_for(relock, ms);
     relock.release();  // ownership stays with the caller's MutexLock
   }
 

@@ -599,7 +599,7 @@ void rule_exit_codes(const std::vector<SourceFile>& files,
             digits += line[i++];
           if (digits.size() == 2) {
             const int code = std::stoi(digits);
-            if (code >= 64 && code <= 78)
+            if (code >= 64 && code <= 79)
               used.emplace(code, Use{&f, static_cast<int>(li + 1)});
           }
           pos = find_token(line, kw, pos + 1);
@@ -632,7 +632,7 @@ void rule_exit_codes(const std::vector<SourceFile>& files,
     i = skip_spaces(line, i);
     if (digits.size() == 2 && i < line.size() && line[i] == '|') {
       const int code = std::stoi(digits);
-      if (code >= 64 && code <= 78) documented.emplace(code, li);
+      if (code >= 64 && code <= 79) documented.emplace(code, li);
     }
   }
 

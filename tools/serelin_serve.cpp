@@ -1,0 +1,118 @@
+// serelin_serve — the persistent retiming job server (docs/SERVING.md).
+//
+//   serelin_serve --socket /tmp/serelin.sock [--workers N] [--max-queue N]
+//                 [--cache N] [--scratch DIR] [--threads N]
+//                 [--max-deadline S] [--no-verify]
+//
+// Accepts concurrent jobs over a local unix socket (newline-delimited JSON
+// protocol: submit / status / result / cancel / stream / stats / ping /
+// shutdown), schedules them onto a bounded worker pool with per-job
+// deadlines and priorities, rejects submissions with an explicit
+// backpressure error when the queue is full, and answers duplicate
+// submissions from a result cache keyed by the pipeline fingerprint.
+//
+// Exit codes (docs/ROBUSTNESS.md §5): 0 clean shutdown (the `shutdown`
+// op), 64 usage, 70 internal error, 78 interrupted — SIGTERM/SIGINT
+// triggers a graceful drain (running jobs finish degraded or checkpoint
+// into --scratch) — and 79 when the socket address is already in use by a
+// live server.
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+#include "serve/server.hpp"
+#include "support/parallel.hpp"
+#include "support/signals.hpp"
+#include "support/strings.hpp"
+
+namespace {
+
+using namespace serelin;
+
+[[noreturn]] void usage_error(const std::string& msg) {
+  std::fprintf(stderr, "error: %s\n", msg.c_str());
+  std::fprintf(stderr,
+               "usage: serelin_serve --socket PATH [--workers N]"
+               " [--max-queue N] [--cache N] [--scratch DIR] [--threads N]"
+               " [--max-deadline S] [--no-verify]\n");
+  std::exit(64);
+}
+
+int parse_count(const char* flag, const char* arg, int lo, int hi) {
+  const auto v = parse_int(arg, lo, hi);
+  if (!v)
+    usage_error(std::string(flag) + " wants an integer in [" +
+                std::to_string(lo) + ", " + std::to_string(hi) + "], got '" +
+                arg + "'");
+  return static_cast<int>(*v);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  ServerConfig cfg;
+  int kernel_threads = 1;  // jobs are the unit of parallelism (server.hpp)
+  for (int i = 1; i < argc; ++i) {
+    auto value = [&]() -> const char* {
+      if (i + 1 >= argc)
+        usage_error(std::string("missing value for ") + argv[i]);
+      return argv[++i];
+    };
+    if (!std::strcmp(argv[i], "--socket")) cfg.socket_path = value();
+    else if (!std::strcmp(argv[i], "--workers"))
+      cfg.workers = parse_count("--workers", value(), 1, 256);
+    else if (!std::strcmp(argv[i], "--max-queue"))
+      cfg.max_queue = parse_count("--max-queue", value(), 1, 100000);
+    else if (!std::strcmp(argv[i], "--cache"))
+      cfg.cache_capacity = static_cast<std::size_t>(
+          parse_count("--cache", value(), 0, 1000000));
+    else if (!std::strcmp(argv[i], "--scratch")) cfg.scratch_dir = value();
+    else if (!std::strcmp(argv[i], "--threads"))
+      kernel_threads = parse_count("--threads", value(), 0, 4096);
+    else if (!std::strcmp(argv[i], "--max-deadline")) {
+      const auto v = parse_double(value());
+      if (!v || *v <= 0)
+        usage_error("--max-deadline wants a positive number of seconds");
+      cfg.max_deadline_s = *v;
+    } else if (!std::strcmp(argv[i], "--no-verify")) {
+      cfg.verify = false;
+    } else {
+      usage_error(std::string("unknown option ") + argv[i]);
+    }
+  }
+  if (cfg.socket_path.empty()) usage_error("--socket is required");
+
+  try {
+    set_execution_threads(kernel_threads);
+    Server server(cfg);
+    CancelToken stop;
+    SignalGuard guard(stop);
+    server.start();
+    std::printf("serelin_serve: listening on %s (%d workers, queue %d, "
+                "cache %zu)\n",
+                cfg.socket_path.c_str(), cfg.workers, cfg.max_queue,
+                cfg.cache_capacity);
+    std::fflush(stdout);
+    server.run(stop);
+    const ServerStats s = server.stats();
+    std::printf("serelin_serve: drained; %lld submitted, %lld completed, "
+                "%lld cancelled, %lld failed, %lld cache hits, "
+                "%lld backpressure rejections\n",
+                static_cast<long long>(s.submitted),
+                static_cast<long long>(s.completed),
+                static_cast<long long>(s.cancelled),
+                static_cast<long long>(s.failed),
+                static_cast<long long>(s.cache_hits),
+                static_cast<long long>(s.rejected_backpressure));
+    return guard.interrupted() ? SignalGuard::kExitInterrupted : 0;
+  } catch (const BindError& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 79;
+  } catch (const Error& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 70;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "internal error: %s\n", e.what());
+    return 70;
+  }
+}

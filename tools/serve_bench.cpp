@@ -1,0 +1,486 @@
+// serve_bench — closed-loop load generator for the serelin job server
+// (docs/SERVING.md, "Bench methodology").
+//
+//   serve_bench [--out BENCH_serve.json] [--clients N] [--jobs N]
+//               [--dup-every K] [--workers N] [--max-queue N]
+//               [--socket PATH] [--no-saturation]
+//
+// Phase 1 (mixed load): N client connections each drive a closed loop of
+// J jobs — submit, wait for the oracle-verified result, next — over mixed
+// circuit sizes, priorities, start stages and deadlines. Every K-th job of
+// a client resubmits that client's first job verbatim; the original has
+// already completed (closed loop), so each duplicate MUST be a cache hit
+// and its result MUST be byte-identical to the original. Because every
+// accounting event is attached to a submission, not to timing, the
+// counters in the report are exact constants of the workload shape —
+// bench_gate.py gates them against the committed baseline.
+//
+// Phase 2 (saturation): pins every worker and fills the queue with held
+// jobs, then keeps submitting until the server answers with structured
+// backpressure rejections; everything held is then cancelled and reaped.
+// Proves saturation degrades into explicit rejection, never a hang.
+//
+// By default the server runs in-process (fresh cache, deterministic);
+// --socket drives an already-running external server instead — used by
+// the CI smoke stage against a freshly spawned serelin_serve.
+//
+// Exit codes: 0 pass, 64 usage, 70 internal/expectation failure (dropped
+// connection, no rejection under saturation), 77 divergence — a duplicate
+// missed the cache or its result was not bit-identical.
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <unistd.h>
+
+#include "flow/journal.hpp"
+#include "gen/random_circuit.hpp"
+#include "netlist/bench_io.hpp"
+#include "serve/protocol.hpp"
+#include "serve/server.hpp"
+#include "support/atomic_io.hpp"
+#include "support/parallel.hpp"
+#include "support/stopwatch.hpp"
+#include "support/strings.hpp"
+
+namespace {
+
+using namespace serelin;
+
+struct BenchConfig {
+  std::string out_path = "BENCH_serve.json";
+  std::string socket;       ///< empty = in-process server
+  int clients = 32;
+  int jobs = 4;             ///< per client
+  int dup_every = 3;        ///< every K-th job resubmits the client's first
+  int workers = 8;
+  int max_queue = 64;
+  bool saturation = true;
+  double job_deadline_s = 30.0;
+};
+
+[[noreturn]] void usage_error(const std::string& msg) {
+  std::fprintf(stderr, "error: %s\n", msg.c_str());
+  std::fprintf(stderr,
+               "usage: serve_bench [--out f.json] [--clients N] [--jobs N]"
+               " [--dup-every K] [--workers N] [--max-queue N]"
+               " [--socket PATH] [--no-saturation]\n");
+  std::exit(64);
+}
+
+int parse_count(const char* flag, const char* arg, int lo, int hi) {
+  const auto v = parse_int(arg, lo, hi);
+  if (!v)
+    usage_error(std::string(flag) + " wants an integer in [" +
+                std::to_string(lo) + ", " + std::to_string(hi) + "], got '" +
+                arg + "'");
+  return static_cast<int>(*v);
+}
+
+/// One request/response exchange. Throws serelin::Error on a dead
+/// connection or a hung server — the bench never waits forever.
+Request rpc(UnixStream& stream, const std::string& line,
+            double patience_s = 120.0) {
+  SERELIN_REQUIRE(stream.write_line(line), "server connection lost on send");
+  const Deadline patience = Deadline::after(patience_s);
+  std::string response;
+  for (;;) {
+    const UnixStream::ReadStatus st = stream.read_line(response, 500);
+    if (st == UnixStream::ReadStatus::kLine) break;
+    SERELIN_REQUIRE(st == UnixStream::ReadStatus::kTimeout,
+                    "server closed the connection mid-request");
+    SERELIN_REQUIRE(!patience.expired(),
+                    "server did not answer within " +
+                        std::to_string(patience_s) + "s");
+  }
+  const ParseOutcome parsed = parse_object(response);
+  SERELIN_REQUIRE(parsed.ok, "unparseable response: " + parsed.error);
+  return parsed.request;
+}
+
+/// The deterministic circuit of (client, job): unique per pair, mixed
+/// sizes via the index.
+std::string make_circuit(int client, int job) {
+  RandomCircuitSpec spec;
+  static constexpr int kGateSizes[3] = {24, 40, 64};
+  spec.gates = kGateSizes[(client + job) % 3];
+  spec.dffs = std::max(4, spec.gates / 4);
+  spec.inputs = 6;
+  spec.outputs = 6;
+  spec.name = "load";
+  spec.seed = 9000ULL + static_cast<std::uint64_t>(client) * 16 +
+              static_cast<std::uint64_t>(job);
+  std::ostringstream text;
+  write_bench(text, generate_random_circuit(spec));
+  return text.str();
+}
+
+std::string submit_line(const std::string& circuit, int priority,
+                        const char* start, double deadline_s,
+                        int test_delay_ms = 0, bool use_cache = true) {
+  JsonObject o;
+  o.set("op", "submit")
+      .set("circuit", circuit)
+      .set("patterns", 128)
+      .set("frames", 4)
+      .set("warmup", 8)
+      .set("priority", priority)
+      .set("start", start)
+      .set("deadline_s", deadline_s);
+  if (test_delay_ms > 0) o.set("test_delay_ms", test_delay_ms);
+  if (!use_cache) o.set("cache", false);
+  return o.str();
+}
+
+struct ClientOutcome {
+  int completed = 0;
+  int cache_hits = 0;      ///< duplicates answered cached
+  int executed = 0;        ///< submissions that ran the pipeline
+  int backpressure_retries = 0;
+  bool duplicates_identical = true;
+  bool duplicates_cached = true;
+  std::vector<double> latencies_ms;
+  std::string error;  ///< non-empty: the connection/protocol failed
+};
+
+void client_main(int client, const BenchConfig& cfg, ClientOutcome& out) {
+  try {
+    UnixStream stream = UnixStream::connect(cfg.socket);
+    std::string first_line;    // first job's exact submission
+    std::string first_result;  // its bit-exact result text
+    for (int j = 0; j < cfg.jobs; ++j) {
+      const bool dup = j > 0 && cfg.dup_every > 0 && (j + 1) % cfg.dup_every == 0;
+      std::string line;
+      if (dup) {
+        line = first_line;  // verbatim resubmission => same fingerprint
+      } else {
+        line = submit_line(make_circuit(client, j), /*priority=*/j % 3,
+                           j % 2 ? "minobs" : "minobswin",
+                           cfg.job_deadline_s);
+        if (j == 0) first_line = line;
+      }
+
+      Stopwatch watch;
+      Request accepted;
+      for (int attempt = 0;; ++attempt) {
+        accepted = rpc(stream, line);
+        if (accepted.get_bool("ok").value_or(false)) break;
+        const std::string err =
+            accepted.get_string("error").value_or("(none)");
+        SERELIN_REQUIRE(err == "backpressure",
+                        "submit rejected with '" + err + "'");
+        SERELIN_REQUIRE(attempt < 400, "starved by backpressure");
+        ++out.backpressure_retries;
+        const double retry = std::clamp(
+            accepted.get_number("retry_after_s").value_or(0.05), 0.01, 0.2);
+        std::this_thread::sleep_for(
+            std::chrono::milliseconds(static_cast<int>(retry * 1000)));
+      }
+      const std::string id = accepted.get_string("job").value_or("");
+      SERELIN_REQUIRE(!id.empty(), "accept response carried no job id");
+      const bool was_cached = accepted.get_bool("cached").value_or(false);
+
+      JsonObject want;
+      want.set("op", "result").set("job", id).set("wait", true);
+      const Request res = rpc(stream, want.str());
+      SERELIN_REQUIRE(res.get_bool("ok").value_or(false),
+                      "result failed: " +
+                          res.get_string("detail").value_or("(none)"));
+      const std::string state = res.get_string("state").value_or("");
+      SERELIN_REQUIRE(state == "done", "job " + id + " ended " + state +
+                                           ": " +
+                                           res.get_string("detail").value_or(""));
+      SERELIN_REQUIRE(res.get_bool("verified").value_or(false),
+                      "job " + id + " was not oracle-verified");
+      SERELIN_REQUIRE(!res.get_bool("degraded").value_or(true),
+                      "job " + id + " degraded — deadline too tight for "
+                      "this machine, bench counters would be unstable");
+      const std::string text = res.get_string("circuit").value_or("");
+      SERELIN_REQUIRE(!text.empty(), "done result carried no circuit");
+
+      out.latencies_ms.push_back(watch.seconds() * 1e3);
+      ++out.completed;
+      if (dup) {
+        if (!was_cached) out.duplicates_cached = false;
+        else ++out.cache_hits;
+        if (text != first_result) out.duplicates_identical = false;
+      } else {
+        ++out.executed;
+        if (j == 0) first_result = text;
+      }
+    }
+  } catch (const std::exception& e) {
+    out.error = e.what();
+  }
+}
+
+/// Phase 2: fill every worker and the whole queue with held jobs, then
+/// overflow. Returns the number of structured backpressure rejections
+/// observed (must be positive); cancels and reaps everything held.
+int saturate(const BenchConfig& cfg) {
+  UnixStream stream = UnixStream::connect(cfg.socket);
+  std::vector<std::string> held;
+  int rejections = 0;
+  const int total = cfg.workers + cfg.max_queue + 8;
+  for (int i = 0; i < total; ++i) {
+    RandomCircuitSpec spec;
+    spec.gates = 16;
+    spec.dffs = 4;
+    spec.inputs = 4;
+    spec.outputs = 4;
+    spec.seed = 77000ULL + static_cast<std::uint64_t>(i);
+    std::ostringstream text;
+    write_bench(text, generate_random_circuit(spec));
+    const Request r = rpc(
+        stream, submit_line(text.str(), /*priority=*/0, "minobs",
+                            cfg.job_deadline_s, /*test_delay_ms=*/60000,
+                            /*use_cache=*/false));
+    if (r.get_bool("ok").value_or(false)) {
+      held.push_back(r.get_string("job").value_or(""));
+      SERELIN_REQUIRE(!held.back().empty(), "accept carried no job id");
+    } else {
+      const std::string err = r.get_string("error").value_or("(none)");
+      SERELIN_REQUIRE(err == "backpressure",
+                      "saturation rejected with '" + err + "'");
+      SERELIN_REQUIRE(r.get_number("retry_after_s").has_value(),
+                      "backpressure rejection carried no retry_after_s");
+      ++rejections;
+    }
+  }
+  for (const std::string& id : held) {
+    JsonObject c;
+    c.set("op", "cancel").set("job", id);
+    const Request r = rpc(stream, c.str());
+    SERELIN_REQUIRE(r.get_bool("ok").value_or(false), "cancel failed");
+  }
+  for (const std::string& id : held) {
+    JsonObject w;
+    w.set("op", "result").set("job", id).set("wait", true);
+    const Request r = rpc(stream, w.str());
+    const std::string state = r.get_string("state").value_or("");
+    SERELIN_REQUIRE(state == "cancelled",
+                    "held job " + id + " ended " + state +
+                        ", expected cancelled");
+  }
+  return rejections;
+}
+
+double percentile(std::vector<double>& sorted, double p) {
+  if (sorted.empty()) return 0.0;
+  const auto idx = static_cast<std::size_t>(
+      p * static_cast<double>(sorted.size() - 1) / 100.0 + 0.5);
+  return sorted[std::min(idx, sorted.size() - 1)];
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  BenchConfig cfg;
+  for (int i = 1; i < argc; ++i) {
+    auto value = [&]() -> const char* {
+      if (i + 1 >= argc)
+        usage_error(std::string("missing value for ") + argv[i]);
+      return argv[++i];
+    };
+    if (!std::strcmp(argv[i], "--out")) cfg.out_path = value();
+    else if (!std::strcmp(argv[i], "--socket")) cfg.socket = value();
+    else if (!std::strcmp(argv[i], "--clients"))
+      cfg.clients = parse_count("--clients", value(), 1, 1024);
+    else if (!std::strcmp(argv[i], "--jobs"))
+      cfg.jobs = parse_count("--jobs", value(), 1, 1024);
+    else if (!std::strcmp(argv[i], "--dup-every"))
+      cfg.dup_every = parse_count("--dup-every", value(), 0, 1024);
+    else if (!std::strcmp(argv[i], "--workers"))
+      cfg.workers = parse_count("--workers", value(), 1, 256);
+    else if (!std::strcmp(argv[i], "--max-queue"))
+      cfg.max_queue = parse_count("--max-queue", value(), 1, 100000);
+    else if (!std::strcmp(argv[i], "--no-saturation"))
+      cfg.saturation = false;
+    else
+      usage_error(std::string("unknown option ") + argv[i]);
+  }
+
+  try {
+    // In-process server by default: fresh cache every run, so duplicate
+    // accounting is exact. The cache must hold every unique job of the
+    // run — eviction order is timing-dependent, and a deterministic
+    // counter contract cannot sit on top of it.
+    std::unique_ptr<Server> server;
+    std::thread server_thread;
+    CancelToken server_stop;
+    const bool external = !cfg.socket.empty();
+    if (!external) {
+      cfg.socket = "/tmp/serelin_serve_bench." +
+                   std::to_string(static_cast<long long>(::getpid())) +
+                   ".sock";
+      ServerConfig sc;
+      sc.socket_path = cfg.socket;
+      sc.workers = cfg.workers;
+      sc.max_queue = cfg.max_queue;
+      sc.cache_capacity =
+          static_cast<std::size_t>(cfg.clients) *
+          static_cast<std::size_t>(cfg.jobs) * 2;
+      server = std::make_unique<Server>(sc);
+      server->start();
+      server_thread = std::thread(
+          [&server, server_stop] { server->run(server_stop); });
+    }
+
+    std::printf("serve_bench: %d clients x %d jobs (dup every %d), "
+                "%d workers, queue %d, socket %s\n",
+                cfg.clients, cfg.jobs, cfg.dup_every, cfg.workers,
+                cfg.max_queue, cfg.socket.c_str());
+
+    // Phase 1: mixed closed-loop load.
+    std::vector<ClientOutcome> outcomes(
+        static_cast<std::size_t>(cfg.clients));
+    Stopwatch phase1;
+    {
+      std::vector<std::thread> threads;
+      threads.reserve(outcomes.size());
+      for (int c = 0; c < cfg.clients; ++c)
+        threads.emplace_back(client_main, c, std::cref(cfg),
+                             std::ref(outcomes[static_cast<std::size_t>(c)]));
+      for (std::thread& t : threads) t.join();
+    }
+    const double phase1_ms = phase1.seconds() * 1e3;
+
+    int completed = 0, hits = 0, executed = 0, retries = 0;
+    bool identical = true, all_cached = true;
+    std::vector<double> latencies;
+    for (const ClientOutcome& o : outcomes) {
+      if (!o.error.empty()) {
+        std::fprintf(stderr, "error: client failed: %s\n", o.error.c_str());
+        return 70;  // a dropped connection is an outright failure
+      }
+      completed += o.completed;
+      hits += o.cache_hits;
+      executed += o.executed;
+      retries += o.backpressure_retries;
+      identical = identical && o.duplicates_identical;
+      all_cached = all_cached && o.duplicates_cached;
+      latencies.insert(latencies.end(), o.latencies_ms.begin(),
+                       o.latencies_ms.end());
+    }
+    int dups_per_client = 0;  // jobs j>0 with (j+1) % dup_every == 0
+    for (int j = 1; cfg.dup_every > 0 && j < cfg.jobs; ++j)
+      if ((j + 1) % cfg.dup_every == 0) ++dups_per_client;
+    const int expected_hits = cfg.clients * dups_per_client;
+    const int expected_total = cfg.clients * cfg.jobs;
+
+    std::sort(latencies.begin(), latencies.end());
+    std::printf("serve_bench: phase 1 done in %.0f ms — %d completed, "
+                "%d cache hits, %d retries; p50 %.1f / p90 %.1f / p99 %.1f "
+                "ms\n",
+                phase1_ms, completed, hits, retries,
+                percentile(latencies, 50), percentile(latencies, 90),
+                percentile(latencies, 99));
+
+    if (!identical) {
+      std::fprintf(stderr,
+                   "error: a duplicate's result was not bit-identical to "
+                   "the original — cache divergence\n");
+      return 77;
+    }
+    if (!all_cached || hits != expected_hits ||
+        completed != expected_total) {
+      std::fprintf(stderr,
+                   "error: accounting mismatch — %d/%d completed, %d/%d "
+                   "cache hits\n",
+                   completed, expected_total, hits, expected_hits);
+      return 77;
+    }
+
+    // Phase 2: saturation must answer with structured rejections.
+    int rejections = 0;
+    if (cfg.saturation) {
+      rejections = saturate(cfg);
+      std::printf("serve_bench: saturation produced %d explicit "
+                  "backpressure rejections\n",
+                  rejections);
+      if (rejections <= 0) {
+        std::fprintf(stderr,
+                     "error: saturation produced no backpressure "
+                     "rejection\n");
+        return 70;
+      }
+    }
+
+    // Server-side view (non-gated; informational).
+    std::int64_t srv_hits = -1, srv_completed = -1;
+    {
+      UnixStream s = UnixStream::connect(cfg.socket);
+      JsonObject q;
+      q.set("op", "stats");
+      const Request st = rpc(s, q.str());
+      srv_hits = st.get_int("cache_hits").value_or(-1);
+      srv_completed = st.get_int("completed").value_or(-1);
+      if (!external) {
+        JsonObject down;
+        down.set("op", "shutdown");
+        (void)rpc(s, down.str());
+      }
+    }
+    if (!external) {
+      server_thread.join();
+      server.reset();
+    }
+
+    // bench_gate-compatible report. The "counters" are client-side
+    // constants of the workload shape (see the header comment): exact-
+    // equality gating is sound because nothing in them depends on timing.
+    std::string out = "{\n";
+    char buf[512];
+    auto line = [&](const char* fmt, auto... args) {
+      std::snprintf(buf, sizeof(buf), fmt, args...);
+      out += buf;
+    };
+    line("  \"workload\": {\"clients\": %d, \"jobs_per_client\": %d, "
+         "\"dup_every\": %d, \"workers\": %d, \"max_queue\": %d},\n",
+         cfg.clients, cfg.jobs, cfg.dup_every, cfg.workers, cfg.max_queue);
+    out += "  \"kernels\": [\n";
+    line("    {\"kernel\": \"serve_mixed\", \"config\": \"%d clients x %d "
+         "jobs, dup every %d, %d workers\",\n",
+         cfg.clients, cfg.jobs, cfg.dup_every, cfg.workers);
+    line("     \"bit_identical_across_threads\": %s,\n",
+         identical ? "true" : "false");
+    line("     \"counters_identical_across_threads\": %s,\n",
+         (all_cached && hits == expected_hits && completed == expected_total)
+             ? "true"
+             : "false");
+    line("     \"counters\": {\"serve-jobs\": %d, \"serve-cache-hits\": %d, "
+         "\"serve-cache-misses\": %d},\n",
+         executed, hits, executed);
+    line("     \"results\": [\n       {\"threads\": %d, \"wall_ms\": %.2f, "
+         "\"speedup\": 1.000}\n     ]}\n",
+         cfg.workers, phase1_ms);
+    out += "  ],\n";
+    line("  \"load\": {\"throughput_jobs_per_s\": %.2f,\n",
+         completed / (phase1_ms / 1e3));
+    line("    \"latency_ms\": {\"p50\": %.2f, \"p90\": %.2f, \"p99\": "
+         "%.2f},\n",
+         percentile(latencies, 50), percentile(latencies, 90),
+         percentile(latencies, 99));
+    line("    \"backpressure_retries\": %d,\n", retries);
+    line("    \"saturation_rejections\": %d,\n", rejections);
+    line("    \"server\": {\"cache_hits\": %lld, \"completed\": %lld}}\n",
+         static_cast<long long>(srv_hits),
+         static_cast<long long>(srv_completed));
+    out += "}\n";
+    atomic_write_file(cfg.out_path, out);
+    std::printf("wrote %s\n", cfg.out_path.c_str());
+    return 0;
+  } catch (const Error& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 70;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "internal error: %s\n", e.what());
+    return 70;
+  }
+}

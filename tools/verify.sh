@@ -13,6 +13,10 @@
 #             committed-corpus replay under ASan+UBSan
 #   crash     process-kill torture: SIGKILL at seeded points mid-write,
 #             resume, assert bit-identical results and untorn artifacts
+#   serve     job-server protocol smoke under ASan+UBSan: Serve* suites,
+#             then a live daemon driven by serve_bench (mixed concurrent
+#             jobs, duplicate cache hits, saturation backpressure),
+#             SIGTERM drain (exit 78) and double-bind rejection (exit 79)
 #
 #   tools/verify.sh [--fast] [--skip-static] [--skip-tsan] [--skip-asan]
 #                   [--stage NAME]...
@@ -50,7 +54,7 @@ while [[ $# -gt 0 ]]; do
       shift ;;
     *) echo "usage: tools/verify.sh [--fast] [--skip-static] [--skip-tsan]" \
             "[--skip-asan]" \
-            "[--stage static|tier1|examples|tsan|asan|fault|fuzzdiff|crash]..." >&2
+            "[--stage static|tier1|examples|tsan|asan|fault|fuzzdiff|crash|serve]..." >&2
        exit 64 ;;
   esac
   shift
@@ -61,7 +65,7 @@ if [[ ${#STAGES[@]} -eq 0 ]]; then
   [[ "$SKIP_STATIC" == 1 ]] || STAGES+=(static)
   STAGES+=(tier1 examples crash)
   [[ "$SKIP_TSAN" == 1 ]] || STAGES+=(tsan)
-  [[ "$SKIP_ASAN" == 1 ]] || STAGES+=(asan fault fuzzdiff)
+  [[ "$SKIP_ASAN" == 1 ]] || STAGES+=(asan fault fuzzdiff serve)
 fi
 
 stage_static() {
@@ -216,6 +220,60 @@ stage_crash() {
       --out build/crash-harness
 }
 
+stage_serve() {
+  echo "== serve: job-server protocol smoke under ASan+UBSan =="
+  cmake -B build-asan -S . -DSERELIN_ASAN=ON > /dev/null
+  cmake --build build-asan -j"$(nproc)" \
+      --target serelin_tests serelin_serve serve_bench
+  # 1/3 — the Serve* suites: wire-protocol hardening, cache determinism,
+  # backpressure, cancel, drain — all in-process, all under the sanitizer.
+  (cd build-asan && ctest --output-on-failure -R '^Serve' -j"$(nproc)")
+
+  # 2/3 — a live daemon driven end-to-end: mixed concurrent jobs, verbatim
+  # duplicate resubmissions answered from the cache (counter-checked by
+  # serve_bench, exit 77 on any mismatch), saturation producing explicit
+  # backpressure rejections. Then SIGTERM must drain gracefully (exit 78)
+  # and unlink the socket. Workers/queue sizes are passed to both sides so
+  # the bench's saturation arithmetic matches the server's actual bounds.
+  local sock="build-asan/serve-smoke.sock"
+  rm -f "$sock"
+  ./build-asan/tools/serelin_serve --socket "$sock" --workers 4 \
+      --max-queue 32 --cache 256 --scratch build-asan &
+  local server_pid=$!
+  for _ in $(seq 1 100); do
+    [[ -S "$sock" ]] && break
+    sleep 0.1
+  done
+  [[ -S "$sock" ]] || { echo "serve: daemon never bound $sock" >&2; exit 1; }
+
+  # 3/3 folded in while the daemon is live: a second bind of the same
+  # socket must be rejected with the registered exit code 79.
+  local bind_status=0
+  ./build-asan/tools/serelin_serve --socket "$sock" --workers 1 \
+      2> /dev/null || bind_status=$?
+  if [[ "$bind_status" != 79 ]]; then
+    echo "serve: double bind exited $bind_status, want 79" >&2
+    kill "$server_pid" 2> /dev/null || true
+    exit 1
+  fi
+
+  ./build-asan/tools/serve_bench --socket "$sock" --clients 8 --jobs 4 \
+      --dup-every 3 --workers 4 --max-queue 32 \
+      --out build-asan/BENCH_serve_smoke.json
+
+  kill -TERM "$server_pid"
+  local drain_status=0
+  wait "$server_pid" || drain_status=$?
+  if [[ "$drain_status" != 78 ]]; then
+    echo "serve: SIGTERM drain exited $drain_status, want 78" >&2
+    exit 1
+  fi
+  if [[ -S "$sock" ]]; then
+    echo "serve: drained server left its socket behind" >&2
+    exit 1
+  fi
+}
+
 for stage in "${STAGES[@]}"; do
   case "$stage" in
     static) stage_static ;;
@@ -226,6 +284,7 @@ for stage in "${STAGES[@]}"; do
     fault) stage_fault ;;
     fuzzdiff) stage_fuzzdiff ;;
     crash) stage_crash ;;
+    serve) stage_serve ;;
     *) echo "verify: unknown stage '$stage'" >&2; exit 64 ;;
   esac
 done
