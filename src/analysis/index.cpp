@@ -1,0 +1,505 @@
+#include "analysis/index.hpp"
+
+#include <algorithm>
+#include <cctype>
+
+namespace serelin::analysis {
+
+namespace {
+
+struct Tok {
+  std::string s;
+  std::size_t off = 0;
+  bool ident = false;
+};
+
+bool keyword(const std::string& s) {
+  static const char* const kKeywords[] = {
+      "if",     "else",    "for",      "while",    "do",       "switch",
+      "case",   "return",  "sizeof",   "new",      "delete",   "catch",
+      "throw",  "alignof", "decltype", "static_assert",        "co_return",
+      "co_await"};
+  for (const char* k : kKeywords)
+    if (s == k) return true;
+  return false;
+}
+
+bool macro_like(const std::string& s) {
+  for (char c : s)
+    if (std::islower(static_cast<unsigned char>(c))) return false;
+  return !s.empty();
+}
+
+std::vector<Tok> tokenize(const std::string& text) {
+  std::vector<Tok> toks;
+  std::size_t i = 0;
+  const std::size_t n = text.size();
+  while (i < n) {
+    const char c = text[i];
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      ++i;
+      continue;
+    }
+    if (ident_char(c)) {
+      std::size_t j = i;
+      while (j < n && ident_char(text[j])) ++j;
+      toks.push_back({text.substr(i, j - i), i, true});
+      i = j;
+      continue;
+    }
+    toks.push_back({std::string(1, c), i, false});
+    ++i;
+  }
+  return toks;
+}
+
+/// Offset of the token matching the '(' / '{' / '<'-free scan start; walks
+/// tokens, returns index of the closing token or toks.size().
+std::size_t match_paren(const std::vector<Tok>& toks, std::size_t open_idx,
+                        char open, char close) {
+  int depth = 0;
+  for (std::size_t i = open_idx; i < toks.size(); ++i) {
+    if (!toks[i].ident) {
+      if (toks[i].s[0] == open) ++depth;
+      if (toks[i].s[0] == close && --depth == 0) return i;
+    }
+  }
+  return toks.size();
+}
+
+struct StackEntry {
+  int scope_idx;
+};
+
+}  // namespace
+
+int FileIndex::line_of(std::size_t off) const {
+  const auto it =
+      std::upper_bound(line_off.begin(), line_off.end(), off);
+  return static_cast<int>(it - line_off.begin());
+}
+
+const std::string& FileIndex::raw_line_at(std::size_t off) const {
+  static const std::string empty;
+  const int line = line_of(off);
+  if (line < 1 || line > static_cast<int>(file->raw.size())) return empty;
+  return file->raw[static_cast<std::size_t>(line - 1)];
+}
+
+bool deadlineish(const std::string& ident) {
+  std::string low;
+  low.reserve(ident.size());
+  for (char c : ident)
+    low += static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+  if (low.find("deadline") != std::string::npos) return true;
+  if (low.find("cancel") != std::string::npos) return true;
+  if (low.find("token") != std::string::npos) return true;
+  if (low.find("poller") != std::string::npos) return true;
+  return low.find("stop") != std::string::npos &&
+         low.find("stopwatch") == std::string::npos;
+}
+
+FileIndex build_index(const SourceFile& file) {
+  FileIndex ix;
+  ix.file = &file;
+
+  // Join the stripped lines, blanking preprocessor directives so `#if`
+  // alternatives and include lines never unbalance the structural scan.
+  std::size_t total = 0;
+  for (const std::string& l : file.code) total += l.size() + 1;
+  ix.text.reserve(total);
+  for (std::size_t li = 0; li < file.code.size(); ++li) {
+    ix.line_off.push_back(ix.text.size());
+    if (li < file.directive.size() && file.directive[li])
+      ix.text.append(file.code[li].size(), ' ');
+    else
+      ix.text += file.code[li];
+    ix.text += '\n';
+  }
+
+  const std::vector<Tok> toks = tokenize(ix.text);
+
+  // --- Pass B: brace scopes, classified, plus function definitions. ---
+  std::vector<StackEntry> stack;
+  std::size_t stmt_start = 0;
+  int paren_depth = 0;
+  std::vector<int> paren_stack;  // saved paren depth per open scope
+
+  const auto innermost = [&]() -> int {
+    return stack.empty() ? -1 : stack.back().scope_idx;
+  };
+  const auto record_key = [&](const Scope& sc) -> std::string {
+    const bool in_cpp = file.rel.size() >= 4 &&
+                        file.rel.compare(file.rel.size() - 4, 4, ".cpp") == 0;
+    return in_cpp ? file.rel + "::" + sc.name : sc.name;
+  };
+
+  for (std::size_t t = 0; t < toks.size(); ++t) {
+    const Tok& tk = toks[t];
+    if (tk.ident) continue;
+    const char c = tk.s[0];
+    if (c == '(') ++paren_depth;
+    if (c == ')' && paren_depth > 0) --paren_depth;
+    if (c == ';' && paren_depth == 0) {
+      stmt_start = t + 1;
+      continue;
+    }
+    if (c == '{') {
+      Scope sc;
+      sc.open = tk.off;
+      sc.parent = innermost();
+      // Classify from the statement tokens [stmt_start, t).
+      const std::size_t b = stmt_start, e = t;
+      bool has_eq = false, has_ns = false, has_enum = false,
+           has_record = false;
+      for (std::size_t i = b; i < e; ++i) {
+        const Tok& s = toks[i];
+        if (!s.ident && s.s[0] == '=' &&
+            (i + 1 >= e || toks[i + 1].s[0] != '=') &&
+            (i == b ||
+             (toks[i - 1].s[0] != '=' && toks[i - 1].s[0] != '!' &&
+              toks[i - 1].s[0] != '<' && toks[i - 1].s[0] != '>')))
+          has_eq = true;
+        if (s.ident && s.s == "namespace") has_ns = true;
+        if (s.ident && s.s == "enum") has_enum = true;
+        if (s.ident && (s.s == "class" || s.s == "struct" || s.s == "union"))
+          has_record = true;
+      }
+      const int parent_idx = sc.parent;
+      const bool in_record_or_ns =
+          parent_idx == -1 ||
+          ix.scopes[parent_idx].kind == Scope::Kind::kNamespace ||
+          ix.scopes[parent_idx].kind == Scope::Kind::kAnonNamespace ||
+          ix.scopes[parent_idx].kind == Scope::Kind::kRecord;
+      if (has_ns && !has_eq) {
+        sc.kind = e > b && toks[e - 1].ident && toks[e - 1].s != "namespace"
+                      ? Scope::Kind::kNamespace
+                      : Scope::Kind::kAnonNamespace;
+        if (sc.kind == Scope::Kind::kNamespace) sc.name = toks[e - 1].s;
+      } else if (has_enum || has_eq) {
+        sc.kind = Scope::Kind::kOther;
+      } else {
+        // Find the first '(' at paren level 0 of the statement whose
+        // preceding identifier is not an annotation macro.
+        std::size_t paren = e;
+        std::string fname;
+        std::size_t scan = b;
+        while (scan < e) {
+          if (toks[scan].ident || toks[scan].s[0] != '(') {
+            ++scan;
+            continue;
+          }
+          const std::string before =
+              scan > b && toks[scan - 1].ident ? toks[scan - 1].s : "";
+          if (macro_like(before)) {
+            scan = match_paren(toks, scan, '(', ')') + 1;
+            continue;
+          }
+          paren = scan;
+          fname = before;
+          break;
+        }
+        if ((paren < e && paren > b && fname.empty() &&
+             toks[paren - 1].s[0] == ']') ||
+            (paren == e && e > b && !toks[e - 1].ident &&
+             toks[e - 1].s[0] == ']')) {
+          sc.kind = Scope::Kind::kLambda;
+        } else if (paren < e &&
+                   (fname == "if" || fname == "for" || fname == "while" ||
+                    fname == "switch" || fname == "catch")) {
+          sc.kind = Scope::Kind::kControl;
+        } else if (paren < e && !fname.empty() && !keyword(fname) &&
+                   !has_record && in_record_or_ns) {
+          sc.kind = Scope::Kind::kFunction;
+          sc.name = fname;
+          Function fn;
+          fn.name = fname;
+          // Out-of-line method: the name is qualified as X::name.
+          if (paren >= b + 4 && !toks[paren - 2].ident &&
+              toks[paren - 2].s[0] == ':' && toks[paren - 3].s[0] == ':' &&
+              toks[paren - 4].ident)
+            fn.record = toks[paren - 4].s;
+          // In-class method: take the enclosing record's key.
+          if (fn.record.empty() && parent_idx >= 0 &&
+              ix.scopes[static_cast<std::size_t>(parent_idx)].kind ==
+                  Scope::Kind::kRecord)
+            fn.record =
+                record_key(ix.scopes[static_cast<std::size_t>(parent_idx)]);
+          fn.line = ix.line_of(tk.off);
+          fn.body_open = tk.off;
+          for (std::size_t i = b; i + 1 < e; ++i)
+            if (toks[i].ident && toks[i].s == "SERELIN_REQUIRES" &&
+                !toks[i + 1].ident && toks[i + 1].s[0] == '(') {
+              const std::size_t close = match_paren(toks, i + 1, '(', ')');
+              if (close < e)
+                fn.requires_exprs.push_back(ix.text.substr(
+                    toks[i + 1].off + 1, toks[close].off - toks[i + 1].off - 1));
+            }
+          ix.functions.push_back(std::move(fn));
+        } else if (has_record && in_record_or_ns) {
+          sc.kind = Scope::Kind::kRecord;
+          // Name: last identifier before the base clause (a single ':' at
+          // paren level 0) or before '{', skipping "final".
+          std::size_t stop = e;
+          for (std::size_t i = b; i < e; ++i)
+            if (!toks[i].ident && toks[i].s[0] == ':' &&
+                (i + 1 >= e || toks[i + 1].s[0] != ':') &&
+                (i == b || toks[i - 1].s[0] != ':')) {
+              stop = i;
+              break;
+            }
+          for (std::size_t i = stop; i > b; --i)
+            if (toks[i - 1].ident && toks[i - 1].s != "final") {
+              sc.name = toks[i - 1].s;
+              break;
+            }
+        } else if (paren < e) {
+          sc.kind = Scope::Kind::kControl;
+        } else if (e > b && toks[e - 1].ident &&
+                   (toks[e - 1].s == "else" || toks[e - 1].s == "try" ||
+                    toks[e - 1].s == "do")) {
+          sc.kind = Scope::Kind::kControl;
+        } else {
+          sc.kind = Scope::Kind::kOther;
+        }
+      }
+      if (sc.kind == Scope::Kind::kFunction)
+        ix.functions.back().body_open = sc.open;
+      stack.push_back({static_cast<int>(ix.scopes.size())});
+      ix.scopes.push_back(sc);
+      paren_stack.push_back(paren_depth);
+      paren_depth = 0;
+      stmt_start = t + 1;
+      continue;
+    }
+    if (c == '}') {
+      if (!stack.empty()) {
+        const int idx = stack.back().scope_idx;
+        ix.scopes[static_cast<std::size_t>(idx)].close = tk.off;
+        stack.pop_back();
+        paren_depth = paren_stack.back();
+        paren_stack.pop_back();
+      }
+      stmt_start = t + 1;
+      continue;
+    }
+  }
+  // Resolve function body extents from their scopes.
+  for (Function& fn : ix.functions)
+    for (const Scope& sc : ix.scopes)
+      if (sc.open == fn.body_open && sc.kind == Scope::Kind::kFunction) {
+        fn.body_close = sc.close;
+        break;
+      }
+  // Helpers over the finished scope list.
+  const auto innermost_at = [&](std::size_t off) -> int {
+    int best = -1;
+    for (std::size_t i = 0; i < ix.scopes.size(); ++i) {
+      const Scope& sc = ix.scopes[i];
+      if (sc.open < off && (sc.close == 0 || sc.close > off))
+        if (best == -1 || sc.open > ix.scopes[static_cast<std::size_t>(best)].open)
+          best = static_cast<int>(i);
+    }
+    return best;
+  };
+  const auto enclosing_function = [&](std::size_t off) -> int {
+    int best = -1;
+    for (std::size_t i = 0; i < ix.functions.size(); ++i)
+      if (ix.functions[i].body_open < off && ix.functions[i].body_close > off)
+        if (best == -1 ||
+            ix.functions[i].body_open >
+                ix.functions[static_cast<std::size_t>(best)].body_open)
+          best = static_cast<int>(i);
+    return best;
+  };
+
+  // --- Pass C: mutex declarations, lock sites, calls, loops. ---
+  for (std::size_t t = 0; t < toks.size(); ++t) {
+    const Tok& tk = toks[t];
+    if (!tk.ident) continue;
+
+    if (tk.s == "Mutex" && t + 2 < toks.size() && toks[t + 1].ident &&
+        !toks[t + 2].ident && toks[t + 2].s[0] == ';') {
+      MutexDecl m;
+      m.name = toks[t + 1].s;
+      m.line = ix.line_of(tk.off);
+      const int si = innermost_at(tk.off);
+      const Scope* sc = si >= 0 ? &ix.scopes[static_cast<std::size_t>(si)]
+                                : nullptr;
+      if (sc != nullptr && sc->kind == Scope::Kind::kRecord) {
+        m.record = record_key(*sc);
+        m.key = m.record + "::" + m.name;
+      } else if (sc == nullptr || sc->kind == Scope::Kind::kNamespace ||
+                 sc->kind == Scope::Kind::kAnonNamespace) {
+        const bool in_cpp =
+            file.rel.size() >= 4 &&
+            file.rel.compare(file.rel.size() - 4, 4, ".cpp") == 0;
+        m.key = in_cpp ? file.rel + "::" + m.name : m.name;
+      } else {
+        m.key = file.rel + ":" + std::to_string(m.line) + "::" + m.name;
+        m.local = true;
+        m.function = enclosing_function(tk.off);
+      }
+      ix.mutexes.push_back(std::move(m));
+      continue;
+    }
+
+    if (tk.s == "MutexLock" && t + 2 < toks.size() && toks[t + 1].ident &&
+        !toks[t + 2].ident && toks[t + 2].s[0] == '(') {
+      const std::size_t close = match_paren(toks, t + 2, '(', ')');
+      if (close >= toks.size()) continue;
+      LockSite ls;
+      ls.off = tk.off;
+      ls.line = ix.line_of(tk.off);
+      std::string expr = ix.text.substr(
+          toks[t + 2].off + 1, toks[close].off - toks[t + 2].off - 1);
+      // Trim whitespace.
+      std::size_t a = 0, z = expr.size();
+      while (a < z && std::isspace(static_cast<unsigned char>(expr[a]))) ++a;
+      while (z > a && std::isspace(static_cast<unsigned char>(expr[z - 1])))
+        --z;
+      ls.expr = expr.substr(a, z - a);
+      const int si = innermost_at(tk.off);
+      ls.scope_close = si >= 0
+                           ? ix.scopes[static_cast<std::size_t>(si)].close
+                           : ix.text.size();
+      if (ls.scope_close == 0) ls.scope_close = ix.text.size();
+      ls.function = enclosing_function(tk.off);
+      ix.locks.push_back(std::move(ls));
+      continue;
+    }
+
+    // Loops.
+    if (tk.s == "for" || tk.s == "while" || tk.s == "do") {
+      const int fidx = enclosing_function(tk.off);
+      if (tk.s == "do") {
+        // Body must be the next '{'.
+        if (t + 1 < toks.size() && !toks[t + 1].ident &&
+            toks[t + 1].s[0] == '{') {
+          const std::size_t close = match_paren(toks, t + 1, '{', '}');
+          if (close < toks.size())
+            ix.loops.push_back({Loop::Kind::kDo, ix.line_of(tk.off),
+                                toks[t + 1].off, toks[close].off, fidx});
+        }
+        continue;
+      }
+      if (t + 1 >= toks.size() || toks[t + 1].ident ||
+          toks[t + 1].s[0] != '(')
+        continue;
+      const std::size_t pclose = match_paren(toks, t + 1, '(', ')');
+      if (pclose >= toks.size()) continue;
+      // A `while` whose condition is immediately followed by ';' is a
+      // do-while tail (the `do` already recorded the body) or an empty
+      // spin loop with no body to inspect — skip either way.
+      if (tk.s == "while" && pclose + 1 < toks.size() &&
+          !toks[pclose + 1].ident && toks[pclose + 1].s[0] == ';')
+        continue;
+      Loop lp;
+      lp.line = ix.line_of(tk.off);
+      lp.function = fidx;
+      if (tk.s == "while") {
+        lp.kind = Loop::Kind::kWhile;
+      } else {
+        int semis = 0;
+        bool nonsemi = false, colon = false;
+        int depth = 0;
+        for (std::size_t i = t + 2; i < pclose; ++i) {
+          const Tok& s = toks[i];
+          if (!s.ident && (s.s[0] == '(' || s.s[0] == '<')) ++depth;
+          if (!s.ident && (s.s[0] == ')' || s.s[0] == '>')) --depth;
+          if (depth != 0) continue;
+          if (!s.ident && s.s[0] == ';')
+            ++semis;
+          else if (!s.ident && s.s[0] == ':' &&
+                   (i + 1 >= pclose || toks[i + 1].s[0] != ':') &&
+                   (toks[i - 1].s[0] != ':'))
+            colon = true;
+          else
+            nonsemi = true;
+        }
+        if (colon)
+          lp.kind = Loop::Kind::kRangeFor;
+        else if (semis == 2 && !nonsemi)
+          lp.kind = Loop::Kind::kForever;
+        else
+          lp.kind = Loop::Kind::kCountingFor;
+      }
+      // Body: '{' block or single statement to the ';' at depth 0.
+      if (pclose + 1 < toks.size() && !toks[pclose + 1].ident &&
+          toks[pclose + 1].s[0] == '{') {
+        const std::size_t bclose = match_paren(toks, pclose + 1, '{', '}');
+        if (bclose < toks.size()) {
+          lp.body_begin = toks[pclose + 1].off;
+          lp.body_end = toks[bclose].off;
+          ix.loops.push_back(std::move(lp));
+        }
+      } else if (pclose + 1 < toks.size()) {
+        int depth = 0;
+        for (std::size_t i = pclose + 1; i < toks.size(); ++i) {
+          const Tok& s = toks[i];
+          if (!s.ident && (s.s[0] == '(' || s.s[0] == '{')) ++depth;
+          if (!s.ident && (s.s[0] == ')' || s.s[0] == '}')) --depth;
+          if (!s.ident && s.s[0] == ';' && depth == 0) {
+            lp.body_begin = toks[pclose + 1].off;
+            lp.body_end = s.off;
+            ix.loops.push_back(std::move(lp));
+            break;
+          }
+        }
+      }
+      continue;
+    }
+
+    // Call sites: identifier directly followed by '(' inside a function or
+    // lambda body. Declarations at record/namespace scope have no body
+    // around them, so requiring a function/lambda ancestor filters them.
+    if (!keyword(tk.s) && t + 1 < toks.size() && !toks[t + 1].ident &&
+        toks[t + 1].s[0] == '(') {
+      const int fidx = enclosing_function(tk.off);
+      bool in_lambda = false;
+      if (fidx < 0) {
+        for (const Scope& sc : ix.scopes)
+          if (sc.kind == Scope::Kind::kLambda && sc.open < tk.off &&
+              sc.close > tk.off)
+            in_lambda = true;
+        if (!in_lambda) continue;
+      }
+      const std::size_t close = match_paren(toks, t + 1, '(', ')');
+      if (close >= toks.size()) continue;
+      CallSite cs;
+      cs.callee = tk.s;
+      cs.off = tk.off;
+      cs.line = ix.line_of(tk.off);
+      cs.args_open = toks[t + 1].off;
+      cs.args_close = toks[close].off;
+      cs.function = fidx;
+      // Receiver chain via '.' / '->'.
+      std::size_t i = t;
+      std::vector<std::string> chain;
+      while (i >= 2) {
+        const Tok& p1 = toks[i - 1];
+        if (!p1.ident && p1.s[0] == '.' && toks[i - 2].ident) {
+          chain.push_back(toks[i - 2].s);
+          i -= 2;
+          continue;
+        }
+        if (i >= 3 && !p1.ident && p1.s[0] == '>' &&
+            toks[i - 2].s[0] == '-' && toks[i - 3].ident) {
+          chain.push_back(toks[i - 3].s);
+          i -= 3;
+          continue;
+        }
+        break;
+      }
+      for (auto it = chain.rbegin(); it != chain.rend(); ++it) {
+        if (!cs.receiver.empty()) cs.receiver += '.';
+        cs.receiver += *it;
+      }
+      ix.calls.push_back(std::move(cs));
+    }
+  }
+
+  return ix;
+}
+
+}  // namespace serelin::analysis

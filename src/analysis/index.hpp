@@ -1,0 +1,128 @@
+// Per-TU structural index for the whole-program contract analyzer.
+//
+// Built on the stripped text of one SourceFile (analysis/source.hpp), the
+// index recovers the lexical structure the flow-aware passes need: brace
+// scopes classified as namespace/record/function/lambda/control bodies,
+// function definitions with their extents, `Mutex` declarations with
+// scope-qualified identities, `MutexLock` acquisition sites with their RAII
+// extents, `SERELIN_REQUIRES` annotations, call sites with receiver chains,
+// and loops classified by boundedness.
+//
+// This is a *lexical* index, not an AST: it is exact on the idioms this
+// codebase actually uses (docs/STATIC_ANALYSIS.md documents the contract)
+// and degrades by under-approximation — an expression it cannot resolve is
+// dropped, never guessed — so passes built on it favor false negatives
+// over false positives.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "analysis/source.hpp"
+
+namespace serelin::analysis {
+
+/// One classified brace scope [open, close] (offsets into `text`).
+struct Scope {
+  enum class Kind {
+    kNamespace,
+    kAnonNamespace,
+    kRecord,
+    kFunction,
+    kLambda,
+    kControl,
+    kOther,
+  };
+  Kind kind = Kind::kOther;
+  std::string name;       ///< record/namespace/function name when known
+  std::size_t open = 0;   ///< offset of '{'
+  std::size_t close = 0;  ///< offset of matching '}'
+  int parent = -1;        ///< index of enclosing scope, -1 at top level
+};
+
+/// A function (or method) definition with a body in this TU.
+struct Function {
+  std::string name;        ///< unqualified name
+  std::string record;      ///< enclosing/qualifying record key, "" for free
+  int line = 0;            ///< line of the body's '{'
+  std::size_t body_open = 0;
+  std::size_t body_close = 0;
+  std::vector<std::string> requires_exprs;  ///< SERELIN_REQUIRES arguments
+};
+
+/// A `Mutex m;` declaration. `key` is the tree-unique identity used by the
+/// lock-order pass: Record::member for members (file-qualified when the
+/// record lives in a .cpp), the bare name for globals (file-qualified in
+/// anonymous namespaces), and file+function qualified for locals.
+struct MutexDecl {
+  std::string name;
+  std::string key;
+  std::string record;  ///< owning record key, "" for globals/locals
+  int line = 0;
+  bool local = false;  ///< declared inside a function body
+  int function = -1;   ///< enclosing function for locals, -1 otherwise
+};
+
+/// A `MutexLock l(expr);` acquisition with its RAII extent.
+struct LockSite {
+  std::string expr;          ///< the constructor argument, verbatim tokens
+  int line = 0;
+  std::size_t off = 0;       ///< offset of the MutexLock token
+  std::size_t scope_close = 0;  ///< end of the innermost enclosing scope
+  int function = -1;         ///< index into FileIndex::functions, -1 if none
+};
+
+/// A call site `callee(...)` inside a function body.
+struct CallSite {
+  std::string callee;    ///< unqualified callee identifier
+  std::string receiver;  ///< dotted receiver chain ("opt_.deadline"), "" if none
+  int line = 0;
+  std::size_t off = 0;        ///< offset of the callee token
+  std::size_t args_open = 0;  ///< offset of '('
+  std::size_t args_close = 0; ///< offset of matching ')'
+  int function = -1;          ///< index into FileIndex::functions, -1 if none
+};
+
+/// A loop statement. Bounded kinds (counting/range for) terminate
+/// structurally; unbounded kinds (while/do/for(;;)) are the ones the
+/// deadline-poll-coverage pass must see a cancellation point in.
+struct Loop {
+  enum class Kind { kCountingFor, kRangeFor, kForever, kWhile, kDo };
+  Kind kind = Kind::kCountingFor;
+  int line = 0;
+  std::size_t body_begin = 0;
+  std::size_t body_end = 0;
+  int function = -1;  ///< index into FileIndex::functions, -1 if none
+};
+
+struct FileIndex {
+  const SourceFile* file = nullptr;
+  std::string text;                   ///< stripped lines joined with '\n',
+                                      ///< preprocessor directives blanked
+  std::vector<std::size_t> line_off;  ///< offset of each line start
+
+  std::vector<Scope> scopes;
+  std::vector<Function> functions;
+  std::vector<MutexDecl> mutexes;
+  std::vector<LockSite> locks;
+  std::vector<CallSite> calls;
+  std::vector<Loop> loops;
+
+  /// 1-based line of an offset into `text`.
+  int line_of(std::size_t off) const;
+  /// Verbatim (raw) text for the line containing `off`.
+  const std::string& raw_line_at(std::size_t off) const;
+};
+
+/// Builds the structural index for one file.
+FileIndex build_index(const SourceFile& file);
+
+/// True for identifiers that look like a cancellation/deadline carrier:
+/// the name (case-insensitively) mentions deadline, cancel, token, stop,
+/// or poller. Used by the deadline-poll-coverage pass to classify both
+/// poll receivers (`deadline_.expired()`) and forwarding arguments
+/// (`solve(rg, opt.deadline)`).
+bool deadlineish(const std::string& ident);
+
+}  // namespace serelin::analysis

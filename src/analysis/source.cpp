@@ -1,0 +1,229 @@
+#include "analysis/source.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <fstream>
+
+namespace serelin::analysis {
+
+namespace fs = std::filesystem;
+
+std::vector<std::string> read_lines(const fs::path& p) {
+  std::ifstream in(p);
+  std::vector<std::string> lines;
+  std::string line;
+  while (std::getline(in, line)) {
+    if (!line.empty() && line.back() == '\r') line.pop_back();
+    lines.push_back(line);
+  }
+  return lines;
+}
+
+std::vector<std::string> strip_comments_and_strings(
+    const std::vector<std::string>& raw) {
+  std::vector<std::string> out;
+  out.reserve(raw.size());
+  bool in_block_comment = false;
+  for (const std::string& line : raw) {
+    std::string res;
+    res.reserve(line.size());
+    std::size_t i = 0;
+    const std::size_t n = line.size();
+    while (i < n) {
+      if (in_block_comment) {
+        if (line[i] == '*' && i + 1 < n && line[i + 1] == '/') {
+          in_block_comment = false;
+          res += "  ";
+          i += 2;
+        } else {
+          res += ' ';
+          ++i;
+        }
+        continue;
+      }
+      const char c = line[i];
+      if (c == '/' && i + 1 < n && line[i + 1] == '/') {
+        res.append(n - i, ' ');
+        break;
+      }
+      if (c == '/' && i + 1 < n && line[i + 1] == '*') {
+        in_block_comment = true;
+        res += "  ";
+        i += 2;
+        continue;
+      }
+      if (c == '"') {
+        // Raw string? Look back for an R prefix glued to the quote.
+        const bool raw_str = !res.empty() && res.back() == 'R';
+        res += ' ';
+        ++i;
+        if (raw_str) {
+          std::string delim;
+          while (i < n && line[i] != '(') delim += line[i], res += ' ', ++i;
+          const std::string closer = ")" + delim + "\"";
+          // Raw strings may span lines; within this tree they do not, so
+          // treat an unterminated one as ending at the line break.
+          const std::size_t end = line.find(closer, i);
+          const std::size_t stop =
+              end == std::string::npos ? n : end + closer.size();
+          res.append(stop - i, ' ');
+          i = stop;
+        } else {
+          while (i < n) {
+            if (line[i] == '\\' && i + 1 < n) {
+              res += "  ";
+              i += 2;
+              continue;
+            }
+            const bool close = line[i] == '"';
+            res += ' ';
+            ++i;
+            if (close) break;
+          }
+        }
+        continue;
+      }
+      if (c == '\'') {
+        // Character literal (digit separators like 1'000 have a digit or
+        // identifier char immediately before the quote — skip those).
+        const bool sep =
+            !res.empty() &&
+            (std::isalnum(static_cast<unsigned char>(res.back())) ||
+             res.back() == '_');
+        res += sep ? c : ' ';
+        ++i;
+        if (!sep) {
+          while (i < n) {
+            if (line[i] == '\\' && i + 1 < n) {
+              res += "  ";
+              i += 2;
+              continue;
+            }
+            const bool close = line[i] == '\'';
+            res += ' ';
+            ++i;
+            if (close) break;
+          }
+        }
+        continue;
+      }
+      res += c;
+      ++i;
+    }
+    out.push_back(std::move(res));
+  }
+  return out;
+}
+
+SourceFile load_source(const fs::path& abs, std::string rel) {
+  SourceFile f;
+  f.abs = abs;
+  f.rel = std::move(rel);
+  f.raw = read_lines(abs);
+  f.code = strip_comments_and_strings(f.raw);
+  f.directive.assign(f.code.size(), false);
+  bool continued = false;
+  for (std::size_t li = 0; li < f.code.size(); ++li) {
+    const std::string& line = f.code[li];
+    const std::size_t i = skip_spaces(line, 0);
+    const bool starts = !continued && i < line.size() && line[i] == '#';
+    if (starts || continued) {
+      f.directive[li] = true;
+      continued = !line.empty() && line.back() == '\\';
+      if (starts) {
+        // Record #include targets ("name" contents are blanked in the
+        // stripped view, so consult the raw line for the quoted form).
+        std::size_t j = skip_spaces(line, i + 1);
+        if (line.compare(j, 7, "include") == 0) {
+          const std::string& rawline = f.raw[li];
+          std::size_t open = rawline.find_first_of("\"<", j + 7);
+          if (open != std::string::npos) {
+            const char close = rawline[open] == '<' ? '>' : '"';
+            const std::size_t end = rawline.find(close, open + 1);
+            if (end != std::string::npos)
+              f.includes.push_back(rawline.substr(open + 1, end - open - 1));
+          }
+        }
+      }
+    } else {
+      continued = false;
+    }
+  }
+  return f;
+}
+
+std::vector<SourceFile> collect_tree(const fs::path& root) {
+  std::vector<fs::path> paths;
+  for (const char* top : {"src", "tools"}) {
+    const fs::path dir = root / top;
+    if (!fs::exists(dir)) continue;
+    for (const auto& entry : fs::recursive_directory_iterator(dir)) {
+      if (!entry.is_regular_file()) continue;
+      const std::string ext = entry.path().extension().string();
+      if (ext == ".hpp" || ext == ".cpp" || ext == ".h")
+        paths.push_back(entry.path());
+    }
+  }
+  std::sort(paths.begin(), paths.end());
+  std::vector<SourceFile> files;
+  files.reserve(paths.size());
+  for (const fs::path& p : paths)
+    files.push_back(load_source(p, p.lexically_relative(root).generic_string()));
+  return files;
+}
+
+bool ident_char(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
+}
+
+std::size_t find_token(const std::string& text, const std::string& token,
+                       std::size_t from) {
+  std::size_t pos = text.find(token, from);
+  while (pos != std::string::npos) {
+    const bool left_ok = pos == 0 || !ident_char(text[pos - 1]);
+    const std::size_t end = pos + token.size();
+    const bool right_ok = end >= text.size() || !ident_char(text[end]);
+    if (left_ok && right_ok) return pos;
+    pos = text.find(token, pos + 1);
+  }
+  return std::string::npos;
+}
+
+std::size_t skip_spaces(const std::string& s, std::size_t i) {
+  while (i < s.size() && std::isspace(static_cast<unsigned char>(s[i]))) ++i;
+  return i;
+}
+
+NolintMarker parse_nolint(const std::string& raw) {
+  NolintMarker m;
+  const std::size_t pos = raw.find("NOLINT");
+  if (pos == std::string::npos) return m;
+  m.present = true;
+  std::size_t i = skip_spaces(raw, pos + 6);
+  if (i >= raw.size() || raw[i] != '(') {
+    m.bare = true;
+    return m;
+  }
+  const std::size_t close = raw.find(')', i);
+  const std::string list = raw.substr(
+      i + 1, close == std::string::npos ? std::string::npos : close - i - 1);
+  std::size_t from = 0;
+  while ((from = list.find("serelin-", from)) != std::string::npos) {
+    std::size_t end = from + 8;
+    while (end < list.size() &&
+           (ident_char(list[end]) || list[end] == '-'))
+      ++end;
+    m.rules.push_back(list.substr(from + 8, end - from - 8));
+    from = end;
+  }
+  return m;
+}
+
+bool nolint_suppressed(const std::string& raw, const std::string& rule) {
+  const NolintMarker m = parse_nolint(raw);
+  if (!m.present) return false;
+  if (m.bare) return true;
+  return std::find(m.rules.begin(), m.rules.end(), rule) != m.rules.end();
+}
+
+}  // namespace serelin::analysis

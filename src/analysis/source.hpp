@@ -1,0 +1,73 @@
+// Source loading and sanitizing for the whole-program contract analyzer.
+//
+// This is the bottom layer of the analysis substrate (docs/STATIC_ANALYSIS.md):
+// it turns files on disk into `SourceFile` records carrying the verbatim
+// lines plus a *stripped* view in which comment bodies and string/char
+// literal contents are blanked with spaces — line lengths are preserved so
+// columns still line up, and a banned identifier inside prose or a literal
+// can never trip a token match. Preprocessor directives are recognized
+// (including backslash continuations) so structural passes can skip them,
+// and `#include` targets are recorded for include-sensitive rules.
+//
+// Everything here is standard-library only: the analyzer links into
+// `serelin_lint`, which must build wherever the project builds, including
+// sanitizer configurations (tools/CMakeLists.txt).
+#pragma once
+
+#include <cstddef>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+namespace serelin::analysis {
+
+struct SourceFile {
+  std::filesystem::path abs;
+  std::string rel;                ///< root-relative, '/'-separated
+  std::vector<std::string> raw;   ///< verbatim lines
+  std::vector<std::string> code;  ///< comments and string contents blanked
+  std::vector<bool> directive;    ///< line is (part of) a preprocessor directive
+  std::vector<std::string> includes;  ///< #include targets, as written
+};
+
+/// Reads `p` line by line, dropping trailing '\r' (CRLF tolerance).
+std::vector<std::string> read_lines(const std::filesystem::path& p);
+
+/// Blanks comment bodies and string/char-literal contents (including raw
+/// strings) with spaces, preserving line lengths so columns still line up.
+std::vector<std::string> strip_comments_and_strings(
+    const std::vector<std::string>& raw);
+
+/// Loads and sanitizes one file; `rel` is the root-relative path.
+SourceFile load_source(const std::filesystem::path& abs, std::string rel);
+
+/// Collects every .hpp/.cpp/.h under <root>/src and <root>/tools, sorted by
+/// path, loaded and sanitized.
+std::vector<SourceFile> collect_tree(const std::filesystem::path& root);
+
+// --- token-level helpers (no <regex>: hand-rolled scanning keeps the
+// matching rules exact and the analyzer fast on the whole tree) ---
+
+bool ident_char(char c);
+
+/// Position of `token` in `text` as a whole identifier (not embedded in a
+/// longer one), or npos.
+std::size_t find_token(const std::string& text, const std::string& token,
+                       std::size_t from = 0);
+
+std::size_t skip_spaces(const std::string& s, std::size_t i);
+
+/// A parsed `NOLINT` marker on one raw line.
+struct NolintMarker {
+  bool present = false;
+  bool bare = false;                ///< `// NOLINT` with no rule list
+  std::vector<std::string> rules;   ///< bare ids named as serelin-<id>
+};
+
+NolintMarker parse_nolint(const std::string& raw);
+
+/// True when raw line carries a NOLINT suppressing `rule` (bare id):
+/// either a bare NOLINT or NOLINT(...) naming serelin-<rule>.
+bool nolint_suppressed(const std::string& raw, const std::string& rule);
+
+}  // namespace serelin::analysis

@@ -26,7 +26,15 @@ ExhaustiveResult exhaustive_best(const RetimingGraph& g, const ObsGains& gains,
 
   std::vector<int> delta(movable_list.size(), 0);
   Retiming cand = initial;
+  // The space is (bound+1)^|gates| points: even "tiny" circuits can take a
+  // while, so the enumeration is cancellable. On expiry the result carries
+  // the best point seen plus the stop reason (it is no longer an oracle).
+  DeadlinePoller poller(options.deadline);
   for (;;) {
+    if (poller.expired()) {
+      best.stop_reason = options.deadline.status();
+      break;
+    }
     // Evaluate the current Δ.
     bool valid = g.valid(cand);
     if (valid) {

@@ -19,6 +19,10 @@ struct ExhaustiveResult {
   Retiming r;                       ///< best feasible retiming found
   std::int64_t objective_gain = 0;  ///< its K-scaled gain over `initial`
   std::int64_t feasible_points = 0; ///< number of feasible Δ enumerated
+  /// kNone: the full space was enumerated and `r` is the global optimum.
+  /// kDeadline/kCancelled: enumeration stopped early; `r` is only the best
+  /// point seen, so it must not be used as an optimality oracle.
+  StopReason stop_reason = StopReason::kNone;
 };
 
 /// Requires a feasible `initial`. `bound` caps each vertex's decrease.

@@ -71,6 +71,10 @@ std::optional<Retiming> MinPeriodRetimer::retime_for_period(
     // relieve the demoted vertices on a later pass).
     bool changed = true;
     while (changed) {
+      // The closure is Θ(|V|·|E|) worst case per probe — long enough on
+      // big circuits that cancellation must be able to land between
+      // sweeps, not just between passes.
+      if (opt_.deadline.expired()) return std::nullopt;
       changed = false;
       for (VertexId v = 0; v < g_->vertex_count(); ++v) {
         if (!moves[v]) continue;

@@ -70,22 +70,38 @@ Server::Server(ServerConfig config)
 
 Server::~Server() {
   // A server that was started but never run still owns worker threads.
-  if (started_ && !ran_) drain();
+  bool need_drain = false;
+  {
+    MutexLock lock(mutex_);
+    need_drain = started_ && !ran_;
+  }
+  if (need_drain) drain();
 }
 
 void Server::start() {
-  SERELIN_REQUIRE(!started_, "start() may be called once");
+  {
+    MutexLock lock(mutex_);
+    SERELIN_REQUIRE(!started_, "start() may be called once");
+  }
   listener_.bind(config_.socket_path);  // throws BindError -> exit 79
-  started_ = true;
+  {
+    // Flipped only after a successful bind: a BindError leaves the server
+    // never-started, so the destructor does not drain.
+    MutexLock lock(mutex_);
+    started_ = true;
+  }
   workers_.reserve(static_cast<std::size_t>(config_.workers));
   for (int i = 0; i < config_.workers; ++i)
     workers_.emplace_back(&Server::worker_loop, this);
 }
 
 void Server::run(CancelToken stop) {
-  SERELIN_REQUIRE(started_, "run() needs start() first");
-  SERELIN_REQUIRE(!ran_, "run() may be called once");
-  ran_ = true;
+  {
+    MutexLock lock(mutex_);
+    SERELIN_REQUIRE(started_, "run() needs start() first");
+    SERELIN_REQUIRE(!ran_, "run() may be called once");
+    ran_ = true;
+  }
   for (;;) {
     if (stop.cancelled()) break;
     {

@@ -201,10 +201,14 @@ class Server {
   bool draining_ SERELIN_GUARDED_BY(mutex_) = false;
   bool shutdown_requested_ SERELIN_GUARDED_BY(mutex_) = false;
   ServerStats stats_ SERELIN_GUARDED_BY(mutex_);
-  std::vector<std::thread> workers_;      ///< launched in start(), joined in drain()
+  /// Confined to the lifecycle thread (start()/run()/drain()/dtor), never
+  /// touched by the workers themselves — deliberately *not* guarded by
+  /// mutex_: drain() joins these threads, and a join under the lock would
+  /// deadlock against workers acquiring mutex_ to finish their jobs.
+  std::vector<std::thread> workers_;
   std::vector<std::thread> connections_ SERELIN_GUARDED_BY(mutex_);
-  bool started_ = false;
-  bool ran_ = false;
+  bool started_ SERELIN_GUARDED_BY(mutex_) = false;
+  bool ran_ SERELIN_GUARDED_BY(mutex_) = false;
 };
 
 }  // namespace serelin

@@ -1,0 +1,11 @@
+// Fixture: a checkpoint section that is written but never restored —
+// dead weight in every snapshot, and a resume path that silently lacks it.
+#include "support/checkpoint.hpp"
+
+namespace fx {
+
+void save(Image& img) {
+  img.sections.emplace_back("orphan", 0, 0);  // line 8: no consumer
+}
+
+}  // namespace fx

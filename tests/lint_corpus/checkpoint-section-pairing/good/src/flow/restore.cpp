@@ -1,0 +1,10 @@
+// Fixture: restore half — consumes the section `save` writes.
+#include "support/checkpoint.hpp"
+
+namespace fx {
+
+bool load(const Image& img) {
+  return img.find("orphan") != nullptr;
+}
+
+}  // namespace fx

@@ -1,0 +1,10 @@
+// Fixture: writer half of a properly paired checkpoint section.
+#include "support/checkpoint.hpp"
+
+namespace fx {
+
+void save(Image& img) {
+  img.sections.emplace_back("orphan", 0, 0);
+}
+
+}  // namespace fx

@@ -1,0 +1,14 @@
+// Fixture: name table is complete and kebab-correct; the defect is the
+// missing doc row for bar-baz.
+namespace fx {
+
+const char* counter_name(Counter c) {
+  switch (c) {
+    case Counter::kFoo: return "foo";
+    case Counter::kBarBaz: return "bar-baz";  // line 8: not documented
+    case Counter::kCount: break;
+  }
+  return "unknown";
+}
+
+}  // namespace fx

@@ -1,0 +1,10 @@
+// Fixture: two counters; the doc table below documents only one.
+namespace fx {
+
+enum class Counter {
+  kFoo,
+  kBarBaz,
+  kCount
+};
+
+}  // namespace fx

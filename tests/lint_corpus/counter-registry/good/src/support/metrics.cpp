@@ -1,0 +1,13 @@
+// Fixture: complete name table matching the doc registry.
+namespace fx {
+
+const char* counter_name(Counter c) {
+  switch (c) {
+    case Counter::kFoo: return "foo";
+    case Counter::kBarBaz: return "bar-baz";
+    case Counter::kCount: break;
+  }
+  return "unknown";
+}
+
+}  // namespace fx

@@ -1,0 +1,10 @@
+// Fixture: two counters, both documented.
+namespace fx {
+
+enum class Counter {
+  kFoo,
+  kBarBaz,
+  kCount
+};
+
+}  // namespace fx

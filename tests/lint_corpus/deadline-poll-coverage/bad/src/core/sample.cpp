@@ -1,0 +1,22 @@
+// Fixture: an open-ended solve loop that does real indexed work through
+// its callee but never reaches a Deadline/CancelToken poll — cancellation
+// can never land.
+namespace fx {
+
+int relax_all(int n) {
+  int acc = 0;
+  for (int i = 0; i < n; ++i) acc += i;
+  return acc;
+}
+
+int converge(int n) {
+  int total = 0;
+  bool again = true;
+  while (again) {  // line 15: unbounded, works, never polls
+    total += relax_all(n);
+    again = total < 1000;
+  }
+  return total;
+}
+
+}  // namespace fx

@@ -1,0 +1,22 @@
+// Fixture: the same solve loop, but every iteration polls the deadline,
+// so an expiry or cancellation interrupts it promptly.
+namespace fx {
+
+int relax_all(int n) {
+  int acc = 0;
+  for (int i = 0; i < n; ++i) acc += i;
+  return acc;
+}
+
+int converge(const Deadline& deadline, int n) {
+  int total = 0;
+  bool again = true;
+  while (again) {
+    if (deadline.expired()) break;
+    total += relax_all(n);
+    again = total < 1000;
+  }
+  return total;
+}
+
+}  // namespace fx

@@ -1,0 +1,18 @@
+// Fixture: inverted lock order. take_ab holds g_a while acquiring g_b;
+// take_ba holds g_b while acquiring g_a — the classic AB/BA deadlock.
+namespace fx {
+
+Mutex g_a;
+Mutex g_b;
+
+void take_ab() {
+  MutexLock la(g_a);
+  MutexLock lb(g_b);  // line 10: edge g_a -> g_b
+}
+
+void take_ba() {
+  MutexLock lb(g_b);
+  MutexLock la(g_a);  // line 15: edge g_b -> g_a, closing the cycle
+}
+
+}  // namespace fx

@@ -1,0 +1,18 @@
+// Fixture: the same two call sites, but both respect one global order
+// (g_a before g_b), so the acquisition graph is acyclic.
+namespace fx {
+
+Mutex g_a;
+Mutex g_b;
+
+void take_ab() {
+  MutexLock la(g_a);
+  MutexLock lb(g_b);
+}
+
+void take_ab_again() {
+  MutexLock la(g_a);
+  MutexLock lb(g_b);
+}
+
+}  // namespace fx

@@ -1,0 +1,9 @@
+// Fixture: every field the handler touches appears in the registry.
+namespace fx {
+
+void handle(const Message& msg, Message& out) {
+  const double period = msg.get_number("period");
+  out.set("oops", period);
+}
+
+}  // namespace fx

@@ -1,0 +1,9 @@
+// Fixture: a stale suppression — nothing on the marked line can trip the
+// named rule, so the marker only hides future regressions.
+namespace fx {
+
+int width() {
+  return 3;  // NOLINT(serelin-no-wallclock) line 6: suppresses nothing
+}
+
+}  // namespace fx

@@ -1,0 +1,11 @@
+// Fixture: a live suppression — the marker consumes a real finding, so
+// it is not stale.
+#include <ctime>
+
+namespace fx {
+
+long stamp() {
+  return std::time(nullptr);  // NOLINT(serelin-no-wallclock) deliberate
+}
+
+}  // namespace fx

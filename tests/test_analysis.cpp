@@ -1,0 +1,165 @@
+// Unit tests for the analysis substrate under the contract analyzer
+// (src/analysis/): source sanitizing, NOLINT parsing, and the structural
+// index the flow-aware lint passes are built on. The end-to-end rule
+// behavior is pinned by tests/test_lint.cpp against fixture trees; these
+// tests pin the substrate invariants those passes assume.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "analysis/index.hpp"
+#include "analysis/registry.hpp"
+#include "analysis/source.hpp"
+
+namespace {
+
+using namespace serelin::analysis;
+
+SourceFile make_file(std::string rel, std::vector<std::string> raw) {
+  SourceFile f;
+  f.rel = std::move(rel);
+  f.raw = std::move(raw);
+  f.code = strip_comments_and_strings(f.raw);
+  return f;
+}
+
+TEST(AnalysisSource, StripPreservesLineLengthsAndBlanksLiterals) {
+  const std::vector<std::string> raw = {
+      "int a = 1; // trailing comment with rand()",
+      "const char* s = \"std::rand() inside a string\";",
+      "/* block", "   spanning lines */ int b = 2;",
+      "char c = 'x';",
+  };
+  const std::vector<std::string> code = strip_comments_and_strings(raw);
+  ASSERT_EQ(code.size(), raw.size());
+  for (std::size_t i = 0; i < raw.size(); ++i)
+    EXPECT_EQ(code[i].size(), raw[i].size()) << "line " << i + 1;
+  EXPECT_EQ(find_token(code[0], "rand"), std::string::npos);
+  EXPECT_EQ(find_token(code[1], "rand"), std::string::npos);
+  EXPECT_NE(find_token(code[3], "b"), std::string::npos);
+  EXPECT_EQ(find_token(code[2], "block"), std::string::npos);
+}
+
+TEST(AnalysisSource, FindTokenMatchesWholeIdentifiersOnly) {
+  EXPECT_EQ(find_token("strand(x)", "rand"), std::string::npos);
+  EXPECT_EQ(find_token("rand_max", "rand"), std::string::npos);
+  EXPECT_NE(find_token("x = rand();", "rand"), std::string::npos);
+}
+
+TEST(AnalysisSource, NolintParsingAndSuppression) {
+  const NolintMarker named =
+      parse_nolint("code();  // NOLINT(serelin-no-wallclock)");
+  EXPECT_TRUE(named.present);
+  EXPECT_FALSE(named.bare);
+  ASSERT_EQ(named.rules.size(), 1u);
+  EXPECT_EQ(named.rules[0], "no-wallclock");
+
+  EXPECT_TRUE(parse_nolint("code();  // NOLINT").bare);
+  EXPECT_FALSE(parse_nolint("plain line").present);
+
+  EXPECT_TRUE(
+      nolint_suppressed("x;  // NOLINT(serelin-no-wallclock)", "no-wallclock"));
+  EXPECT_FALSE(nolint_suppressed("x;  // NOLINT(serelin-no-wallclock)",
+                                 "no-unseeded-random"));
+  EXPECT_TRUE(nolint_suppressed("x;  // NOLINT", "anything"));
+}
+
+TEST(AnalysisIndex, ClassifiesScopesFunctionsAndLoops) {
+  const SourceFile f = make_file(
+      "src/sample.cpp",
+      {
+          "namespace fx {",
+          "struct Gadget {",
+          "  int spin() {",
+          "    while (hot()) { step(); }",
+          "    for (int i = 0; i < n_; ++i) tick(i);",
+          "    for (;;) { idle(); }",
+          "    return 0;",
+          "  }",
+          "  int n_ = 0;",
+          "};",
+          "}  // namespace fx",
+      });
+  const FileIndex ix = build_index(f);
+
+  ASSERT_EQ(ix.functions.size(), 1u);
+  EXPECT_EQ(ix.functions[0].name, "spin");
+  EXPECT_EQ(ix.functions[0].record, "src/sample.cpp::Gadget");
+
+  ASSERT_EQ(ix.loops.size(), 3u);
+  EXPECT_EQ(ix.loops[0].kind, Loop::Kind::kWhile);
+  EXPECT_EQ(ix.loops[0].line, 4);
+  EXPECT_EQ(ix.loops[1].kind, Loop::Kind::kCountingFor);
+  EXPECT_EQ(ix.loops[2].kind, Loop::Kind::kForever);
+  for (const Loop& lp : ix.loops) EXPECT_EQ(lp.function, 0);
+}
+
+TEST(AnalysisIndex, MutexIdentityAndLockExtents) {
+  const SourceFile f = make_file(
+      "src/widget.cpp",
+      {
+          "namespace fx {",
+          "Mutex g_registry;",
+          "class Widget {",
+          " public:",
+          "  void poke() {",
+          "    MutexLock lock(mutex_);",
+          "    MutexLock outer(g_registry);",
+          "  }",
+          " private:",
+          "  Mutex mutex_;",
+          "};",
+          "}  // namespace fx",
+      });
+  const FileIndex ix = build_index(f);
+
+  ASSERT_EQ(ix.mutexes.size(), 2u);
+  EXPECT_EQ(ix.mutexes[0].name, "g_registry");
+  EXPECT_TRUE(ix.mutexes[0].record.empty());
+  EXPECT_EQ(ix.mutexes[1].name, "mutex_");
+  EXPECT_EQ(ix.mutexes[1].record, "src/widget.cpp::Widget");
+  EXPECT_EQ(ix.mutexes[1].key, "src/widget.cpp::Widget::mutex_");
+
+  ASSERT_EQ(ix.locks.size(), 2u);
+  EXPECT_EQ(ix.locks[0].expr, "mutex_");
+  EXPECT_EQ(ix.locks[0].line, 6);
+  EXPECT_EQ(ix.locks[1].expr, "g_registry");
+  // Both RAII extents end at the same enclosing function scope, and the
+  // second acquisition happens inside the first's extent — the shape the
+  // lock-order pass turns into an edge.
+  EXPECT_EQ(ix.locks[0].scope_close, ix.locks[1].scope_close);
+  EXPECT_GT(ix.locks[1].off, ix.locks[0].off);
+  EXPECT_LT(ix.locks[1].off, ix.locks[0].scope_close);
+}
+
+TEST(AnalysisIndex, DeadlineishIdentifiers) {
+  EXPECT_TRUE(deadlineish("deadline_"));
+  EXPECT_TRUE(deadlineish("CancelToken"));
+  EXPECT_TRUE(deadlineish("stop_requested"));
+  EXPECT_TRUE(deadlineish("poller"));
+  EXPECT_FALSE(deadlineish("stopwatch"));
+  EXPECT_FALSE(deadlineish("total"));
+}
+
+TEST(AnalysisRegistry, TreeIndexLinksFunctionsAndMembers) {
+  std::vector<SourceFile> files;
+  files.push_back(make_file("src/a.cpp",
+                            {
+                                "namespace fx {",
+                                "int helper(int x) { return x + 1; }",
+                                "int driver() { return helper(2); }",
+                                "}",
+                            }));
+  const TreeIndex tree = build_tree_index(files);
+  const auto it = tree.functions_by_name.find("helper");
+  ASSERT_NE(it, tree.functions_by_name.end());
+  ASSERT_EQ(it->second.size(), 1u);
+  const FileIndex& ix = tree.indexes[0];
+  bool saw_call = false;
+  for (const CallSite& c : ix.calls)
+    if (c.callee == "helper") saw_call = true;
+  EXPECT_TRUE(saw_call);
+}
+
+}  // namespace

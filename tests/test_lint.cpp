@@ -40,6 +40,9 @@ constexpr const char* kAllRules[] = {
     "no-bare-artifact-write", "diag-code-name",
     "diag-code-documented", "exit-code-registry",
     "trace-macro-pure",     "header-self-sufficient",
+    "lock-order-cycle",     "deadline-poll-coverage",
+    "checkpoint-section-pairing", "counter-registry",
+    "protocol-schema",      "unused-nolint",
 };
 
 }  // namespace
@@ -88,6 +91,66 @@ TEST(LintCorpus, EachLexicalRuleFiresExactlyWhereExpected) {
   }
 }
 
+// The flow-aware and registry-pairing passes: each bad fixture plants one
+// contract violation and the finding must land on the planted line; the
+// matching good fixture differs only in honoring the contract.
+TEST(LintCorpus, EachContractPassFiresExactlyWhereExpected) {
+  struct Case {
+    const char* rule;
+    const char* anchor;  // expected "<file>:<line>" of the one finding
+  };
+  const Case cases[] = {
+      {"lock-order-cycle", "src/sample.cpp:10"},
+      {"deadline-poll-coverage", "src/core/sample.cpp:15"},
+      {"checkpoint-section-pairing", "src/flow/sample.cpp:8"},
+      {"counter-registry", "src/support/metrics.cpp:8"},
+      {"protocol-schema", "src/serve/sample.cpp:7"},
+      {"unused-nolint", "src/sample.cpp:6"},
+  };
+  for (const Case& c : cases) {
+    const LintRun bad = run_lint("--no-compile-checks --root " +
+                                 corpus(std::string(c.rule) + "/bad"));
+    EXPECT_EQ(bad.code, 1) << c.rule << " bad fixture:\n" << bad.out;
+    EXPECT_NE(bad.out.find(std::string(c.anchor) + ": serelin-" + c.rule +
+                           ":"),
+              std::string::npos)
+        << c.rule << " did not fire at " << c.anchor << ":\n" << bad.out;
+    EXPECT_NE(bad.out.find("1 finding(s)"), std::string::npos)
+        << c.rule << " bad fixture must yield exactly one finding:\n"
+        << bad.out;
+
+    const LintRun good = run_lint("--no-compile-checks --root " +
+                                  corpus(std::string(c.rule) + "/good"));
+    EXPECT_EQ(good.code, 0) << c.rule << " good fixture:\n" << good.out;
+    EXPECT_NE(good.out.find("0 finding(s)"), std::string::npos);
+  }
+}
+
+// The inverted-cycle witness must name both edges so the report is
+// actionable without re-running anything.
+TEST(LintCorpus, LockOrderCycleReportNamesBothEdges) {
+  const LintRun bad =
+      run_lint("--no-compile-checks --root " + corpus("lock-order-cycle/bad"));
+  EXPECT_NE(bad.out.find("src/sample.cpp:10"), std::string::npos) << bad.out;
+  EXPECT_NE(bad.out.find("src/sample.cpp:15"), std::string::npos) << bad.out;
+  EXPECT_NE(bad.out.find("g_a"), std::string::npos) << bad.out;
+  EXPECT_NE(bad.out.find("g_b"), std::string::npos) << bad.out;
+}
+
+TEST(LintCorpus, OnlyFilterRestrictsReportingToNamedFiles) {
+  // The violation is in src/sample.cpp; asking only about another file
+  // reports nothing (but analysis still ran whole-tree).
+  const LintRun miss =
+      run_lint("--no-compile-checks --only src/other.cpp --root " +
+               corpus("no-unseeded-random/bad"));
+  EXPECT_EQ(miss.code, 0) << miss.out;
+  const LintRun hit =
+      run_lint("--no-compile-checks --only src/sample.cpp --root " +
+               corpus("no-unseeded-random/bad"));
+  EXPECT_EQ(hit.code, 1) << hit.out;
+  EXPECT_NE(hit.out.find("src/sample.cpp:5"), std::string::npos) << hit.out;
+}
+
 TEST(LintCorpus, HeaderSelfSufficiencyCompileCheck) {
   const std::string cxx = std::string(" --cxx \"") + SERELIN_CXX + "\"";
   const LintRun bad =
@@ -107,13 +170,17 @@ TEST(LintCorpus, NolintSuppressesOnlyTheNamedRule) {
       run_lint("--no-compile-checks --root " + corpus("nolint"));
   EXPECT_EQ(run.code, 1) << run.out;
   // Lines 6 (named rule) and 7 (bare NOLINT) are suppressed; line 8 names
-  // a different rule, so its finding survives.
+  // a different rule, so its finding survives — and because that marker
+  // suppressed nothing, it is itself flagged as stale.
   EXPECT_EQ(run.out.find("sample.cpp:6"), std::string::npos) << run.out;
   EXPECT_EQ(run.out.find("sample.cpp:7"), std::string::npos) << run.out;
   EXPECT_NE(run.out.find("src/sample.cpp:8: serelin-no-unseeded-random"),
             std::string::npos)
       << run.out;
-  EXPECT_NE(run.out.find("1 finding(s)"), std::string::npos) << run.out;
+  EXPECT_NE(run.out.find("src/sample.cpp:8: serelin-unused-nolint"),
+            std::string::npos)
+      << run.out;
+  EXPECT_NE(run.out.find("2 finding(s)"), std::string::npos) << run.out;
 }
 
 TEST(LintCorpus, RuleFilterRestrictsTheRun) {

@@ -6,8 +6,10 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <chrono>
 #include <cstdint>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "core/wd_matrices.hpp"
@@ -19,6 +21,7 @@
 #include "support/deadline.hpp"
 #include "support/diag.hpp"
 #include "support/parallel.hpp"
+#include "support/sync.hpp"
 
 namespace serelin {
 namespace {
@@ -375,6 +378,84 @@ TEST(ParallelDiag, LaneCapKeepsCountsExact) {
   EXPECT_EQ(merged.error_count(), 100u);
   EXPECT_LE(merged.diagnostics().size(),
             4u * static_cast<std::size_t>(parallel_workers()));
+}
+
+// --- CondVar timed waits ---------------------------------------------------
+//
+// CondVar::wait_for has no predicate parameter and no return value: callers
+// MUST loop on their own predicate (sync.hpp documents this). These tests pin
+// down the three ways that contract can go wrong — a timed wait that never
+// returns, a loop that trusts a wakeup instead of its predicate, and a
+// notification that fires before the waiter ever blocks. The suite name
+// keeps the Parallel* prefix so the TSan CI stage picks it up.
+
+TEST(ParallelCondVar, WaitForReturnsAfterTimeoutWhenNeverNotified) {
+  Mutex m;
+  CondVar cv;
+  bool flag = false;
+  const auto t0 = std::chrono::steady_clock::now();
+  const auto budget = std::chrono::milliseconds(60);
+  {
+    MutexLock lock(m);
+    // Nobody ever notifies and nobody ever sets the flag: the only way out
+    // of this loop is wait_for's timeout bounding each lap. A plain wait()
+    // here would hang forever.
+    while (!flag && std::chrono::steady_clock::now() - t0 < budget) {
+      cv.wait_for(m, std::chrono::milliseconds(5));
+    }
+  }
+  EXPECT_FALSE(flag);
+  EXPECT_GE(std::chrono::steady_clock::now() - t0, budget);
+}
+
+TEST(ParallelCondVar, PredicateLoopSurvivesSpuriousWakeups) {
+  Mutex m;
+  CondVar cv;
+  bool flag = false;
+  std::atomic<bool> waiter_done{false};
+  std::thread waiter([&] {
+    MutexLock lock(m);
+    while (!flag) cv.wait_for(m, std::chrono::milliseconds(50));
+    waiter_done.store(true);
+  });
+  // Hammer the waiter with wakeups that do NOT establish the predicate —
+  // indistinguishable, from its side, from spurious wakeups. A waiter that
+  // exits on wakeup rather than on the predicate trips the EXPECT below.
+  for (int i = 0; i < 20; ++i) {
+    cv.notify_all();
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  EXPECT_FALSE(waiter_done.load());
+  {
+    MutexLock lock(m);
+    flag = true;
+  }
+  cv.notify_all();
+  waiter.join();
+  EXPECT_TRUE(waiter_done.load());
+}
+
+TEST(ParallelCondVar, NotifyBeforeWaitStillMakesProgress) {
+  Mutex m;
+  CondVar cv;
+  bool flag = false;
+  // Establish the predicate and notify while nobody is waiting. The
+  // notification itself is lost (condition variables are not latches), so a
+  // correct waiter must check the predicate before blocking — and even if it
+  // blocks anyway, the timed wait bounds the damage to one lap.
+  {
+    MutexLock lock(m);
+    flag = true;
+  }
+  cv.notify_one();
+  std::thread waiter([&] {
+    MutexLock lock(m);
+    while (!flag) cv.wait_for(m, std::chrono::milliseconds(20));
+    flag = false;  // consume, proving we held the lock with the flag set
+  });
+  waiter.join();
+  MutexLock lock(m);
+  EXPECT_FALSE(flag);
 }
 
 }  // namespace

@@ -1,720 +1,41 @@
-// serelin_lint — the project's own determinism and consistency linter.
+// serelin_lint — the project's whole-program contract analyzer.
 //
-// Compilers prove memory and type safety; this tool proves the *serelin
-// contracts* that no general-purpose checker knows about (the rule
-// catalogue lives in docs/STATIC_ANALYSIS.md):
-//
-//   no-unseeded-random      every random draw flows through support/rng
-//   no-wallclock            no wall-clock reads outside the stopwatch
-//   no-unordered-range-for  no iteration-order nondeterminism in reductions
-//   diag-code-name          DiagCode enumerators <-> diag_code_name entries
-//   diag-code-documented    every diag code appears in docs/ROBUSTNESS.md
-//   exit-code-registry      CLI exit codes match the documented registry
-//   trace-macro-pure        SERELIN_SPAN/SERELIN_COUNT args are side-effect
-//                           free (they compile out under SERELIN_TRACE=OFF)
-//   header-self-sufficient  every src/**/*.hpp compiles standalone
+// This binary is a thin driver: the analysis substrate (source loading,
+// per-TU structural indexes, cross-TU registries) and every rule pass live
+// in src/analysis/ (docs/STATIC_ANALYSIS.md is the catalogue). The driver
+// owns only the CLI, the one rule that shells out to a compiler
+// (header-self-sufficient), and output formatting.
 //
 // Scans `src/` and `tools/` below --root (default: the current directory).
-// Lexical rules run on comment- and string-stripped text, so prose in
-// comments never trips them. A finding on a line carrying
-// `// NOLINT(serelin-<rule>)` (or a bare `// NOLINT`) is suppressed.
-// Exit status: 0 clean, 1 findings, 64 usage error, 70 internal error.
+// Cross-TU passes always index the whole tree — `--only FILE` filters
+// which findings are *reported*, not what is analyzed, so changed-files
+// mode in CI stays sound.
 //
-// This is deliberately a lexical checker, not a libTooling plugin: it has
-// zero dependencies beyond the standard library, builds everywhere the
-// project builds, and the invariants it enforces are all expressible on
-// (stripped) source text plus one real compiler invocation per header.
+// Exit status: 0 clean, 1 findings, 64 usage error, 70 internal error.
+
 #include <algorithm>
-#include <cctype>
 #include <cstdint>
 #include <cstdlib>
 #include <filesystem>
 #include <fstream>
 #include <iostream>
-#include <map>
 #include <set>
-#include <sstream>
 #include <string>
 #include <tuple>
 #include <vector>
 
+#include "analysis/passes.hpp"
+#include "analysis/registry.hpp"
+#include "analysis/source.hpp"
+
 namespace fs = std::filesystem;
+
+using namespace serelin::analysis;
 
 namespace {
 
-struct Finding {
-  std::string file;  // root-relative path
-  int line = 0;      // 1-based
-  std::string rule;  // bare id, without the "serelin-" prefix
-  std::string message;
-};
-
-struct RuleInfo {
-  const char* id;
-  const char* description;
-};
-
-constexpr RuleInfo kRules[] = {
-    {"no-unseeded-random",
-     "std::rand/srand/std::random_device are banned outside "
-     "src/support/rng.* — all randomness must be seeded through "
-     "serelin::Rng (determinism contract, docs/PARALLELISM.md)"},
-    {"no-wallclock",
-     "system_clock/time(nullptr)/gettimeofday are banned outside "
-     "src/support/stopwatch.hpp — wall-clock reads make runs "
-     "irreproducible"},
-    {"no-unordered-range-for",
-     "range-for over std::unordered_map/set in src/{core,sim,ser,check} — "
-     "iteration order is nondeterministic, which breaks bit-identical "
-     "reductions"},
-    {"wd-dense-gated",
-     "direct WdMatrices use is confined to src/core/wd_matrices.*, "
-     "src/core/wd_query.* and src/check/* — everything else must go "
-     "through the make_wd_query interface, which picks the dense engine "
-     "only below the size threshold (docs/SPARSE_WD.md)"},
-    {"no-bare-artifact-write",
-     "std::ofstream and fopen-for-write are banned outside "
-     "src/support/atomic_io.* — artifacts must go through "
-     "atomic_write_file or JournalWriter so a crash can never leave a "
-     "torn or half-written file (docs/ROBUSTNESS.md §11)"},
-    {"diag-code-name",
-     "every DiagCode enumerator in src/support/diag.hpp must have a "
-     "diag_code_name case in src/support/diag.cpp"},
-    {"diag-code-documented",
-     "every diag_code_name string must appear in docs/ROBUSTNESS.md "
-     "(the code taxonomy is a documented contract)"},
-    {"exit-code-registry",
-     "exit codes used by tools/serelin_cli.cpp and the registry table in "
-     "docs/ROBUSTNESS.md must match exactly"},
-    {"trace-macro-pure",
-     "SERELIN_SPAN/SERELIN_COUNT arguments must be side-effect free: the "
-     "macros compile out under SERELIN_TRACE=OFF, so ++/--/assignments "
-     "in arguments would change behavior between builds"},
-    {"header-self-sufficient",
-     "every src/**/*.hpp must compile on its own (include-what-you-use "
-     "hygiene); checked with one -fsyntax-only compile per header"},
-};
-
-bool known_rule(const std::string& id) {
-  for (const RuleInfo& r : kRules)
-    if (id == r.id) return true;
-  return false;
-}
-
-struct SourceFile {
-  fs::path abs;
-  std::string rel;                // root-relative, '/'-separated
-  std::vector<std::string> raw;   // verbatim lines
-  std::vector<std::string> code;  // comments and string contents blanked
-};
-
 // ---------------------------------------------------------------------------
-// Loading and sanitizing
-
-std::vector<std::string> read_lines(const fs::path& p) {
-  std::ifstream in(p);
-  std::vector<std::string> lines;
-  std::string line;
-  while (std::getline(in, line)) {
-    if (!line.empty() && line.back() == '\r') line.pop_back();
-    lines.push_back(line);
-  }
-  return lines;
-}
-
-/// Blanks comment bodies and string/char-literal contents (including raw
-/// strings) with spaces, preserving line lengths so columns still line up.
-std::vector<std::string> strip_comments_and_strings(
-    const std::vector<std::string>& raw) {
-  std::vector<std::string> out;
-  out.reserve(raw.size());
-  bool in_block_comment = false;
-  for (const std::string& line : raw) {
-    std::string res;
-    res.reserve(line.size());
-    std::size_t i = 0;
-    const std::size_t n = line.size();
-    while (i < n) {
-      if (in_block_comment) {
-        if (line[i] == '*' && i + 1 < n && line[i + 1] == '/') {
-          in_block_comment = false;
-          res += "  ";
-          i += 2;
-        } else {
-          res += ' ';
-          ++i;
-        }
-        continue;
-      }
-      const char c = line[i];
-      if (c == '/' && i + 1 < n && line[i + 1] == '/') {
-        res.append(n - i, ' ');
-        break;
-      }
-      if (c == '/' && i + 1 < n && line[i + 1] == '*') {
-        in_block_comment = true;
-        res += "  ";
-        i += 2;
-        continue;
-      }
-      if (c == '"') {
-        // Raw string? Look back for an R prefix glued to the quote.
-        const bool raw_str = !res.empty() && res.back() == 'R';
-        res += ' ';
-        ++i;
-        if (raw_str) {
-          std::string delim;
-          while (i < n && line[i] != '(') delim += line[i], res += ' ', ++i;
-          const std::string closer = ")" + delim + "\"";
-          // Raw strings may span lines; within this tool's corpus they do
-          // not, so treat an unterminated one as ending at the line break.
-          const std::size_t end = line.find(closer, i);
-          const std::size_t stop = end == std::string::npos
-                                       ? n
-                                       : end + closer.size();
-          res.append(stop - i, ' ');
-          i = stop;
-        } else {
-          while (i < n) {
-            if (line[i] == '\\' && i + 1 < n) {
-              res += "  ";
-              i += 2;
-              continue;
-            }
-            const bool close = line[i] == '"';
-            res += ' ';
-            ++i;
-            if (close) break;
-          }
-        }
-        continue;
-      }
-      if (c == '\'') {
-        // Character literal (digit separators like 1'000 have a digit or
-        // identifier char immediately before the quote — skip those).
-        const bool sep = !res.empty() &&
-                         (std::isalnum(static_cast<unsigned char>(
-                              res.back())) ||
-                          res.back() == '_');
-        res += sep ? c : ' ';
-        ++i;
-        if (!sep) {
-          while (i < n) {
-            if (line[i] == '\\' && i + 1 < n) {
-              res += "  ";
-              i += 2;
-              continue;
-            }
-            const bool close = line[i] == '\'';
-            res += ' ';
-            ++i;
-            if (close) break;
-          }
-        }
-        continue;
-      }
-      res += c;
-      ++i;
-    }
-    out.push_back(std::move(res));
-  }
-  return out;
-}
-
-// ---------------------------------------------------------------------------
-// Small text helpers (no <regex>: hand-rolled scanning keeps the matching
-// rules exact and the tool fast on the whole tree)
-
-bool ident_char(char c) {
-  return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
-}
-
-/// True if `text` contains `token` as a whole identifier (not embedded in a
-/// longer identifier). Returns the position or npos.
-std::size_t find_token(const std::string& text, const std::string& token,
-                       std::size_t from = 0) {
-  std::size_t pos = text.find(token, from);
-  while (pos != std::string::npos) {
-    const bool left_ok = pos == 0 || !ident_char(text[pos - 1]);
-    const std::size_t end = pos + token.size();
-    const bool right_ok = end >= text.size() || !ident_char(text[end]);
-    if (left_ok && right_ok) return pos;
-    pos = text.find(token, pos + 1);
-  }
-  return std::string::npos;
-}
-
-std::size_t skip_spaces(const std::string& s, std::size_t i) {
-  while (i < s.size() &&
-         std::isspace(static_cast<unsigned char>(s[i])))
-    ++i;
-  return i;
-}
-
-/// True when line `raw` carries a NOLINT marker suppressing `rule`:
-/// either a bare NOLINT or NOLINT(...) whose list names serelin-<rule>.
-bool nolint_suppressed(const std::string& raw, const std::string& rule) {
-  const std::size_t pos = raw.find("NOLINT");
-  if (pos == std::string::npos) return false;
-  std::size_t i = pos + 6;
-  i = skip_spaces(raw, i);
-  if (i >= raw.size() || raw[i] != '(') return true;  // bare NOLINT
-  const std::size_t close = raw.find(')', i);
-  const std::string list =
-      raw.substr(i + 1, close == std::string::npos ? std::string::npos
-                                                   : close - i - 1);
-  return list.find("serelin-" + rule) != std::string::npos;
-}
-
-void report(std::vector<Finding>& out, const SourceFile& f, int line,
-            const char* rule, std::string message) {
-  const std::string& raw =
-      (line >= 1 && line <= static_cast<int>(f.raw.size()))
-          ? f.raw[static_cast<std::size_t>(line - 1)]
-          : std::string();
-  if (nolint_suppressed(raw, rule)) return;
-  out.push_back({f.rel, line, rule, std::move(message)});
-}
-
-// ---------------------------------------------------------------------------
-// Rule: no-unseeded-random / no-wallclock
-
-bool random_exempt(const std::string& rel) {
-  return rel == "src/support/rng.hpp" || rel == "src/support/rng.cpp";
-}
-
-bool wallclock_exempt(const std::string& rel) {
-  return rel == "src/support/stopwatch.hpp" || random_exempt(rel);
-}
-
-void rule_banned_tokens(const SourceFile& f, std::vector<Finding>& out) {
-  static const struct {
-    const char* token;
-    bool call_only;  // require a '(' after the token
-  } kRandom[] = {
-      {"rand", true},          // std::rand() / ::rand()
-      {"srand", false},        //
-      {"random_device", false} // std::random_device
-  };
-  static const char* const kWallclock[] = {
-      "system_clock", "high_resolution_clock", "gettimeofday", "mktime"};
-
-  if (!random_exempt(f.rel)) {
-    for (std::size_t li = 0; li < f.code.size(); ++li) {
-      const std::string& line = f.code[li];
-      for (const auto& t : kRandom) {
-        std::size_t pos = find_token(line, t.token);
-        if (pos == std::string::npos) continue;
-        if (t.call_only) {
-          const std::size_t after =
-              skip_spaces(line, pos + std::string(t.token).size());
-          if (after >= line.size() || line[after] != '(') continue;
-        }
-        report(out, f, static_cast<int>(li + 1), "no-unseeded-random",
-               std::string("'") + t.token +
-                   "' bypasses serelin::Rng; draw from an explicit "
-                   "stream_rng(seed, index) instead");
-      }
-    }
-  }
-  if (!wallclock_exempt(f.rel)) {
-    for (std::size_t li = 0; li < f.code.size(); ++li) {
-      const std::string& line = f.code[li];
-      for (const char* token : kWallclock) {
-        if (find_token(line, token) == std::string::npos) continue;
-        report(out, f, static_cast<int>(li + 1), "no-wallclock",
-               std::string("'") + token +
-                   "' reads the wall clock; use Stopwatch "
-                   "(src/support/stopwatch.hpp) or a Deadline");
-      }
-      // time(nullptr) / time(NULL) / time(0): the classic seed source.
-      std::size_t pos = find_token(line, "time");
-      while (pos != std::string::npos) {
-        std::size_t i = skip_spaces(line, pos + 4);
-        if (i < line.size() && line[i] == '(') {
-          i = skip_spaces(line, i + 1);
-          if (line.compare(i, 7, "nullptr") == 0 ||
-              line.compare(i, 4, "NULL") == 0 ||
-              (i < line.size() && line[i] == '0')) {
-            report(out, f, static_cast<int>(li + 1), "no-wallclock",
-                   "'time(...)' reads the wall clock; seeds must be "
-                   "explicit (determinism contract)");
-          }
-        }
-        pos = find_token(line, "time", pos + 1);
-      }
-    }
-  }
-}
-
-// ---------------------------------------------------------------------------
-// Rule: wd-dense-gated
-
-/// The dense engine's own implementation, the query interface that wraps
-/// it, and the oracle-side cross-checks (which exist to compare engines)
-/// may name WdMatrices; nothing else in src/ or tools/ may.
-bool wd_dense_exempt(const std::string& rel) {
-  return rel == "src/core/wd_matrices.hpp" ||
-         rel == "src/core/wd_matrices.cpp" ||
-         rel == "src/core/wd_query.hpp" || rel == "src/core/wd_query.cpp" ||
-         rel.rfind("src/check/", 0) == 0;
-}
-
-void rule_wd_dense_gated(const SourceFile& f, std::vector<Finding>& out) {
-  if (wd_dense_exempt(f.rel)) return;
-  for (std::size_t li = 0; li < f.code.size(); ++li) {
-    if (find_token(f.code[li], "WdMatrices") == std::string::npos) continue;
-    report(out, f, static_cast<int>(li + 1), "wd-dense-gated",
-           "'WdMatrices' is the Θ(|V|²) dense engine; construct W/D "
-           "access through make_wd_query so large circuits take the "
-           "lazy path (docs/SPARSE_WD.md)");
-  }
-}
-
-// ---------------------------------------------------------------------------
-// Rule: no-bare-artifact-write
-
-/// Only the durable-write substrate itself may open files for writing;
-/// everything else goes through atomic_write_file / JournalWriter.
-bool artifact_write_exempt(const std::string& rel) {
-  return rel == "src/support/atomic_io.cpp" ||
-         rel == "src/support/atomic_io.hpp";
-}
-
-void rule_bare_artifact_write(const SourceFile& f,
-                              std::vector<Finding>& out) {
-  if (artifact_write_exempt(f.rel)) return;
-  for (std::size_t li = 0; li < f.code.size(); ++li) {
-    const std::string& line = f.code[li];
-    bool hit = find_token(line, "ofstream") != std::string::npos;
-    if (!hit && find_token(line, "fopen") != std::string::npos) {
-      // Mode literals are blanked in the stripped text; consult the raw
-      // line. Read-side fopen ("r", "rb") stays legal — only a write or
-      // append mode can tear an artifact.
-      const std::string& raw = f.raw[li];
-      hit = raw.find("\"w") != std::string::npos ||
-            raw.find("\"a") != std::string::npos;
-    }
-    if (hit)
-      report(out, f, static_cast<int>(li + 1), "no-bare-artifact-write",
-             "bare file write; route artifacts through atomic_write_file "
-             "or JournalWriter (support/atomic_io.hpp) so a crash cannot "
-             "leave a torn file (docs/ROBUSTNESS.md §11)");
-  }
-}
-
-// ---------------------------------------------------------------------------
-// Rule: no-unordered-range-for
-
-bool in_reduction_dirs(const std::string& rel) {
-  return rel.rfind("src/core/", 0) == 0 || rel.rfind("src/sim/", 0) == 0 ||
-         rel.rfind("src/ser/", 0) == 0 || rel.rfind("src/check/", 0) == 0;
-}
-
-/// Collects identifiers declared in this file with an unordered_* type.
-/// Heuristic and file-local by design (documented in STATIC_ANALYSIS.md):
-/// cross-file aliasing is out of scope, but the guarded directories keep
-/// their containers local, so this catches the real hazard.
-std::set<std::string> unordered_names(const SourceFile& f) {
-  std::set<std::string> names;
-  for (const std::string& line : f.code) {
-    std::size_t pos = line.find("unordered_");
-    while (pos != std::string::npos) {
-      std::size_t i = line.find('<', pos);
-      if (i == std::string::npos) break;
-      int depth = 0;
-      for (; i < line.size(); ++i) {
-        if (line[i] == '<') ++depth;
-        if (line[i] == '>' && --depth == 0) break;
-      }
-      if (i >= line.size()) break;  // declaration continues on next line
-      std::size_t j = skip_spaces(line, i + 1);
-      while (j < line.size() && (line[j] == '&' || line[j] == '*')) ++j;
-      j = skip_spaces(line, j);
-      if (line.compare(j, 5, "const") == 0 && !ident_char(line[j + 5]))
-        j = skip_spaces(line, j + 5);
-      std::string name;
-      while (j < line.size() && ident_char(line[j])) name += line[j++];
-      if (!name.empty()) names.insert(name);
-      pos = line.find("unordered_", i);
-    }
-  }
-  return names;
-}
-
-void rule_unordered_range_for(const SourceFile& f,
-                              std::vector<Finding>& out) {
-  if (!in_reduction_dirs(f.rel)) return;
-  const std::set<std::string> names = unordered_names(f);
-  for (std::size_t li = 0; li < f.code.size(); ++li) {
-    const std::string& line = f.code[li];
-    const std::size_t fpos = find_token(line, "for");
-    if (fpos == std::string::npos) continue;
-    const std::size_t open = skip_spaces(line, fpos + 3);
-    if (open >= line.size() || line[open] != '(') continue;
-    // A range-for has a single ':' that is not part of '::'.
-    std::size_t colon = std::string::npos;
-    for (std::size_t i = open; i < line.size(); ++i) {
-      if (line[i] != ':') continue;
-      if (i + 1 < line.size() && line[i + 1] == ':') { ++i; continue; }
-      if (i > 0 && line[i - 1] == ':') continue;
-      colon = i;
-      break;
-    }
-    if (colon == std::string::npos) continue;
-    const std::size_t close = line.rfind(')');
-    if (close == std::string::npos || close <= colon) continue;
-    const std::string range = line.substr(colon + 1, close - colon - 1);
-    bool hit = range.find("unordered_") != std::string::npos;
-    for (const std::string& name : names)
-      if (find_token(range, name) != std::string::npos) hit = true;
-    if (hit)
-      report(out, f, static_cast<int>(li + 1), "no-unordered-range-for",
-             "range-for over an unordered container: iteration order is "
-             "nondeterministic; iterate a sorted view or index order "
-             "instead (docs/PARALLELISM.md)");
-  }
-}
-
-// ---------------------------------------------------------------------------
-// Rules: diag-code-name / diag-code-documented  (tree-level cross-checks)
-
-const SourceFile* find_file(const std::vector<SourceFile>& files,
-                            const std::string& rel) {
-  for (const SourceFile& f : files)
-    if (f.rel == rel) return &f;
-  return nullptr;
-}
-
-void rules_diag_codes(const std::vector<SourceFile>& files,
-                      const fs::path& root, std::vector<Finding>& out) {
-  const SourceFile* hpp = find_file(files, "src/support/diag.hpp");
-  const SourceFile* cpp = find_file(files, "src/support/diag.cpp");
-  if (!hpp || !cpp) return;  // fixture trees without a diag layer
-
-  // Enumerators of `enum class DiagCode`, with their declaration lines.
-  std::map<std::string, int> enumerators;
-  bool in_enum = false;
-  for (std::size_t li = 0; li < hpp->code.size(); ++li) {
-    const std::string& line = hpp->code[li];
-    if (!in_enum) {
-      if (line.find("enum class DiagCode") != std::string::npos)
-        in_enum = true;
-      continue;
-    }
-    if (line.find("};") != std::string::npos) break;
-    std::size_t i = skip_spaces(line, 0);
-    if (i >= line.size() || line[i] != 'k') continue;
-    std::string name;
-    while (i < line.size() && ident_char(line[i])) name += line[i++];
-    i = skip_spaces(line, i);
-    if (i < line.size() && (line[i] == ',' || line[i] == '=' ||
-                            line.find_first_not_of(' ', i) ==
-                                std::string::npos))
-      enumerators.emplace(name, static_cast<int>(li + 1));
-  }
-
-  // `case DiagCode::kX:` ... `return "name";` pairs in diag.cpp (raw lines:
-  // the sanitizer blanks the string contents we need).
-  std::map<std::string, std::pair<std::string, int>> name_of;  // enum -> name
-  for (std::size_t li = 0; li < cpp->raw.size(); ++li) {
-    const std::string& line = cpp->raw[li];
-    const std::size_t cpos = line.find("case DiagCode::");
-    if (cpos == std::string::npos) continue;
-    std::size_t i = cpos + std::string("case DiagCode::").size();
-    std::string enumerator;
-    while (i < line.size() && ident_char(line[i])) enumerator += line[i++];
-    for (std::size_t lj = li; lj < cpp->raw.size() && lj < li + 3; ++lj) {
-      const std::string& rline = cpp->raw[lj];
-      const std::size_t rpos = rline.find("return \"");
-      if (rpos == std::string::npos) continue;
-      const std::size_t beg = rpos + 8;
-      const std::size_t end = rline.find('"', beg);
-      if (end != std::string::npos)
-        name_of[enumerator] = {rline.substr(beg, end - beg),
-                               static_cast<int>(lj + 1)};
-      break;
-    }
-  }
-
-  for (const auto& [enumerator, line] : enumerators) {
-    if (name_of.count(enumerator)) continue;
-    report(out, *hpp, line, "diag-code-name",
-           "DiagCode::" + enumerator +
-               " has no diag_code_name case in src/support/diag.cpp");
-  }
-
-  const fs::path doc_path = root / "docs" / "ROBUSTNESS.md";
-  if (!fs::exists(doc_path)) return;
-  std::string doc;
-  {
-    std::ifstream in(doc_path);
-    std::ostringstream ss;
-    ss << in.rdbuf();
-    doc = ss.str();
-  }
-  for (const auto& [enumerator, entry] : name_of) {
-    const auto& [name, line] = entry;
-    // The taxonomy table backticks every code; a prose mention without
-    // backticks does not count as documentation.
-    if (doc.find("`" + name + "`") != std::string::npos) continue;
-    report(out, *cpp, line, "diag-code-documented",
-           "diag code '" + name +
-               "' is not documented (backticked) in docs/ROBUSTNESS.md");
-  }
-}
-
-// ---------------------------------------------------------------------------
-// Rule: exit-code-registry
-
-void rule_exit_codes(const std::vector<SourceFile>& files,
-                     const fs::path& root, std::vector<Finding>& out) {
-  const fs::path doc_path = root / "docs" / "ROBUSTNESS.md";
-  if (!fs::exists(doc_path)) return;
-
-  // Exit codes any tool actually uses: literal `return NN;` / `exit(NN)`
-  // with NN in the sysexits-style band the registry documents. Every
-  // tools/*.cpp participates — the registry is one shared namespace, so a
-  // new tool inventing an undocumented code (or reusing a documented one
-  // for a different meaning) is exactly what this rule must catch.
-  struct Use {
-    const SourceFile* file;
-    int line;
-  };
-  std::map<int, Use> used;  // code -> first use
-  bool any_tool = false;
-  for (const SourceFile& f : files) {
-    if (f.rel.rfind("tools/", 0) != 0 || !f.rel.ends_with(".cpp")) continue;
-    any_tool = true;
-    for (std::size_t li = 0; li < f.code.size(); ++li) {
-      const std::string& line = f.code[li];
-      for (const char* kw : {"return", "exit"}) {
-        std::size_t pos = find_token(line, kw);
-        while (pos != std::string::npos) {
-          std::size_t i = skip_spaces(line, pos + std::string(kw).size());
-          if (i < line.size() && line[i] == '(') i = skip_spaces(line, i + 1);
-          std::string digits;
-          while (i < line.size() &&
-                 std::isdigit(static_cast<unsigned char>(line[i])))
-            digits += line[i++];
-          if (digits.size() == 2) {
-            const int code = std::stoi(digits);
-            if (code >= 64 && code <= 79)
-              used.emplace(code, Use{&f, static_cast<int>(li + 1)});
-          }
-          pos = find_token(line, kw, pos + 1);
-        }
-      }
-      // The interrupted exit travels as a named constant, not a literal
-      // (SignalGuard::kExitInterrupted == 78): count it as a use so the
-      // registry row for 78 is not flagged as dead.
-      if (find_token(line, "kExitInterrupted") != std::string::npos &&
-          find_token(line, "constexpr") == std::string::npos)
-        used.emplace(78, Use{&f, static_cast<int>(li + 1)});
-    }
-  }
-  if (!any_tool) return;
-
-  // Documented codes: `| NN |` table rows in ROBUSTNESS.md.
-  std::map<int, int> documented;  // code -> line
-  std::ifstream in(doc_path);
-  std::string line;
-  int li = 0;
-  while (std::getline(in, line)) {
-    ++li;
-    std::size_t i = skip_spaces(line, 0);
-    if (i >= line.size() || line[i] != '|') continue;
-    i = skip_spaces(line, i + 1);
-    std::string digits;
-    while (i < line.size() &&
-           std::isdigit(static_cast<unsigned char>(line[i])))
-      digits += line[i++];
-    i = skip_spaces(line, i);
-    if (digits.size() == 2 && i < line.size() && line[i] == '|') {
-      const int code = std::stoi(digits);
-      if (code >= 64 && code <= 79) documented.emplace(code, li);
-    }
-  }
-
-  for (const auto& [code, use] : used) {
-    if (documented.count(code)) continue;
-    report(out, *use.file, use.line, "exit-code-registry",
-           "exit code " + std::to_string(code) +
-               " is not in the docs/ROBUSTNESS.md registry table");
-  }
-  for (const auto& [code, dline] : documented) {
-    if (used.count(code)) continue;
-    out.push_back({"docs/ROBUSTNESS.md", dline, "exit-code-registry",
-                   "documented exit code " + std::to_string(code) +
-                       " is never produced by any tools/*.cpp"});
-  }
-}
-
-// ---------------------------------------------------------------------------
-// Rule: trace-macro-pure
-
-void rule_trace_macro_pure(const SourceFile& f, std::vector<Finding>& out) {
-  if (f.rel == "src/support/trace.hpp" || f.rel == "src/support/metrics.hpp")
-    return;  // the macro definitions themselves
-  for (std::size_t li = 0; li < f.code.size(); ++li) {
-    for (const char* macro : {"SERELIN_SPAN", "SERELIN_COUNT"}) {
-      const std::size_t pos = find_token(f.code[li], macro);
-      if (pos == std::string::npos) continue;
-      // Accumulate the argument text across lines until parens balance.
-      std::string args;
-      int depth = 0;
-      bool started = false, done = false;
-      for (std::size_t lj = li; lj < f.code.size() && lj < li + 6 && !done;
-           ++lj) {
-        const std::string& line = f.code[lj];
-        for (std::size_t i = lj == li ? pos : 0; i < line.size(); ++i) {
-          if (line[i] == '(') {
-            ++depth;
-            started = true;
-            if (depth == 1) continue;
-          }
-          if (line[i] == ')' && started && --depth == 0) {
-            done = true;
-            break;
-          }
-          if (started && depth >= 1) args += line[i];
-        }
-        args += ' ';
-      }
-      bool impure = false;
-      std::string why;
-      for (std::size_t i = 0; i + 1 < args.size(); ++i) {
-        const char a = args[i], b = args[i + 1];
-        if ((a == '+' && b == '+') || (a == '-' && b == '-')) {
-          impure = true;
-          why = "increment/decrement";
-          break;
-        }
-        if (b == '=' && (a == '+' || a == '-' || a == '*' || a == '/' ||
-                         a == '%' || a == '^' || a == '|' || a == '&')) {
-          impure = true;
-          why = "compound assignment";
-          break;
-        }
-        if (a == '=' && b != '=' &&
-            (i == 0 || (args[i - 1] != '=' && args[i - 1] != '!' &&
-                        args[i - 1] != '<' && args[i - 1] != '>'))) {
-          impure = true;
-          why = "assignment";
-          break;
-        }
-      }
-      if (impure)
-        report(out, f, static_cast<int>(li + 1), "trace-macro-pure",
-               std::string(macro) + " argument contains " + why +
-                   "; instrumentation compiles out under "
-                   "SERELIN_TRACE=OFF, so arguments must be pure");
-    }
-  }
-}
-
-// ---------------------------------------------------------------------------
-// Rule: header-self-sufficient
+// Rule: header-self-sufficient (kept in the driver: it shells out)
 
 struct CompileChecker {
   std::string cxx;       // compiler driver; empty disables the rule
@@ -754,59 +75,39 @@ struct CompileChecker {
 
 void rule_header_self_sufficient(const SourceFile& f,
                                  const CompileChecker& checker,
-                                 std::vector<Finding>& out) {
+                                 Reporter& rep) {
   if (!checker.available) return;
   if (f.rel.rfind("src/", 0) != 0) return;
   if (f.rel.size() < 4 || f.rel.compare(f.rel.size() - 4, 4, ".hpp") != 0)
     return;
   // NOLINT on line 1 (next to #pragma once or the header comment) opts a
   // header out, mirroring the per-line suppression of the lexical rules.
-  if (!f.raw.empty() && nolint_suppressed(f.raw[0], "header-self-sufficient"))
+  if (!f.raw.empty() &&
+      nolint_suppressed(f.raw[0], "header-self-sufficient")) {
+    rep.mark_used(f.rel, 1);
     return;
+  }
   std::ofstream(checker.scratch)  // NOLINT(serelin-no-bare-artifact-write)
       << "#include \"" << f.rel.substr(4) << "\"\n"
       << "int main() { return 0; }\n";
   const std::string error = checker.run_on(checker.scratch);
   if (!error.empty())
-    out.push_back({f.rel, 1, "header-self-sufficient",
-                   "header does not compile standalone: " + error});
-}
-
-// ---------------------------------------------------------------------------
-// Driver
-
-void collect_files(const fs::path& root, std::vector<SourceFile>& files) {
-  std::vector<fs::path> paths;
-  for (const char* top : {"src", "tools"}) {
-    const fs::path dir = root / top;
-    if (!fs::exists(dir)) continue;
-    for (const auto& entry : fs::recursive_directory_iterator(dir)) {
-      if (!entry.is_regular_file()) continue;
-      const std::string ext = entry.path().extension().string();
-      if (ext == ".hpp" || ext == ".cpp" || ext == ".h")
-        paths.push_back(entry.path());
-    }
-  }
-  std::sort(paths.begin(), paths.end());
-  for (const fs::path& p : paths) {
-    SourceFile f;
-    f.abs = p;
-    f.rel = p.lexically_relative(root).generic_string();
-    f.raw = read_lines(p);
-    f.code = strip_comments_and_strings(f.raw);
-    files.push_back(std::move(f));
-  }
+    rep.report(f.rel, 1, "header-self-sufficient",
+               "header does not compile standalone: " + error);
 }
 
 int usage(std::ostream& out, int rc) {
   out << "usage: serelin_lint [--root DIR] [--cxx PATH]"
          " [--no-compile-checks]\n"
-         "                    [--rule ID]... [--list-rules]\n"
+         "                    [--rule ID]... [--only FILE]..."
+         " [--list-rules]\n"
          "  --root DIR           repository root to scan (default: .)\n"
          "  --cxx PATH           compiler for header checks (default: $CXX"
          " or c++)\n"
          "  --no-compile-checks  skip the header-self-sufficient rule\n"
-         "  --rule ID            run only the listed rule(s)\n"
+         "  --rule ID            report only the listed rule(s)\n"
+         "  --only FILE          report only findings in FILE"
+         " (root-relative; repeatable)\n"
          "  --list-rules         print the rule catalogue and exit\n";
   return rc;
 }
@@ -820,11 +121,12 @@ int main(int argc, char** argv) {
   if (cxx.empty()) cxx = "c++";
   bool compile_checks = true;
   std::set<std::string> only_rules;
+  std::set<std::string> only_files;
 
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg == "--list-rules") {
-      for (const RuleInfo& r : kRules)
+      for (const RuleInfo& r : rule_catalogue())
         std::cout << "serelin-" << r.id << "\n    " << r.description
                   << "\n";
       return 0;
@@ -842,6 +144,8 @@ int main(int argc, char** argv) {
         return 64;
       }
       only_rules.insert(id);
+    } else if (arg == "--only" && i + 1 < argc) {
+      only_files.insert(fs::path(argv[++i]).generic_string());
     } else if (arg == "--help" || arg == "-h") {
       return usage(std::cout, 0);
     } else {
@@ -857,8 +161,9 @@ int main(int argc, char** argv) {
       return 64;
     }
 
-    std::vector<SourceFile> files;
-    collect_files(root, files);
+    std::vector<SourceFile> files = collect_tree(root);
+    const TreeIndex tree = build_tree_index(files);
+    Reporter rep(files);
 
     const auto enabled = [&](const char* id) {
       return only_rules.empty() || only_rules.count(id) > 0;
@@ -876,30 +181,41 @@ int main(int argc, char** argv) {
                        ".cpp");
     checker.probe();
 
-    std::vector<Finding> findings;
+    // Every pass always runs over the whole tree: --rule and --only filter
+    // what is *reported*, and the unused-nolint accounting needs complete
+    // suppression coverage to judge markers.
     for (const SourceFile& f : files) {
-      if (enabled("no-unseeded-random") || enabled("no-wallclock"))
-        rule_banned_tokens(f, findings);
-      if (enabled("no-unordered-range-for"))
-        rule_unordered_range_for(f, findings);
-      if (enabled("wd-dense-gated")) rule_wd_dense_gated(f, findings);
-      if (enabled("no-bare-artifact-write"))
-        rule_bare_artifact_write(f, findings);
-      if (enabled("trace-macro-pure")) rule_trace_macro_pure(f, findings);
-      if (enabled("header-self-sufficient"))
-        rule_header_self_sufficient(f, checker, findings);
+      rule_banned_tokens(f, rep);
+      rule_unordered_range_for(f, rep);
+      rule_wd_dense_gated(f, rep);
+      rule_bare_artifact_write(f, rep);
+      rule_trace_macro_pure(f, rep);
+      rule_header_self_sufficient(f, checker, rep);
     }
-    if (enabled("diag-code-name") || enabled("diag-code-documented"))
-      rules_diag_codes(files, root, findings);
-    if (enabled("exit-code-registry"))
-      rule_exit_codes(files, root, findings);
+    pass_diag_codes(tree, root, rep);
+    pass_exit_codes(tree, root, rep);
+    pass_counter_registry(tree, root, rep);
+    pass_protocol_schema(tree, root, rep);
+    pass_checkpoint_pairing(tree, root, rep);
+    pass_lock_order(tree, rep);
+    pass_deadline_poll(tree, rep);
 
-    // Drop findings from rules excluded by --rule (the banned-token and
-    // diag passes share an implementation and may emit both ids).
+    std::set<std::string> ran;
+    for (const RuleInfo& r : rule_catalogue()) ran.insert(r.id);
+    if (!checker.available) ran.erase("header-self-sufficient");
+    rep.flag_unused_nolints(ran);
+
+    std::vector<Finding>& findings = rep.findings();
     if (!only_rules.empty())
       findings.erase(std::remove_if(findings.begin(), findings.end(),
                                     [&](const Finding& f) {
                                       return only_rules.count(f.rule) == 0;
+                                    }),
+                     findings.end());
+    if (!only_files.empty())
+      findings.erase(std::remove_if(findings.begin(), findings.end(),
+                                    [&](const Finding& f) {
+                                      return only_files.count(f.file) == 0;
                                     }),
                      findings.end());
 

@@ -31,9 +31,13 @@
 # The static stage (docs/STATIC_ANALYSIS.md) degrades gracefully: the
 # serelin_lint pass always runs, the -Wthread-safety build and clang-tidy
 # run only when clang++/clang-tidy are installed (CI installs both; a
-# gcc-only box still gets the project linter). Set SERELIN_TIDY_BASE to a
-# git ref to tidy only the files changed since that ref (the PR mode of
-# the `static` CI job).
+# gcc-only box still gets the contract analyzer). --fast keeps the
+# analyzer in the loop but skips its per-header compile sweep. Set
+# SERELIN_TIDY_BASE to a git ref to tidy only the files changed since
+# that ref, and SERELIN_LINT_BASE to restrict the analyzer's *reported*
+# findings to those files (--only; analysis stays whole-tree) — the PR
+# mode of the `static` CI job. SERELIN_LINT_SKIP=1 skips the analyzer
+# inside the stage (the CI job times it as its own budgeted step).
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -42,9 +46,10 @@ SKIP_TSAN=0
 SKIP_ASAN=0
 STAGES=()
 CTEST_ARGS=()
+LINT_ARGS=()
 while [[ $# -gt 0 ]]; do
   case "$1" in
-    --fast) CTEST_ARGS=(-L fast) ;;
+    --fast) CTEST_ARGS=(-L fast); LINT_ARGS=(--no-compile-checks) ;;
     --skip-static) SKIP_STATIC=1 ;;
     --skip-tsan) SKIP_TSAN=1 ;;
     --skip-asan) SKIP_ASAN=1 ;;
@@ -72,9 +77,24 @@ stage_static() {
   echo "== static: serelin_lint + thread-safety + clang-tidy =="
   cmake -B build -S . > /dev/null
   cmake --build build -j"$(nproc)" --target serelin_lint
-  # 1/3 — the project linter: determinism + consistency contracts over the
-  # whole tree, including the header self-sufficiency compile checks.
-  ./build/tools/serelin_lint --root . --cxx "${CXX:-c++}"
+  # 1/3 — the contract analyzer: determinism, registry and flow contracts
+  # over the whole tree, including the header self-sufficiency compile
+  # checks (skipped under --fast). SERELIN_LINT_BASE narrows the *reported*
+  # findings to a PR's changed files; the analysis itself is always
+  # whole-tree, since lock cycles and registry pairings span TUs.
+  if [[ "${SERELIN_LINT_SKIP:-0}" == 1 ]]; then
+    echo "static: SERELIN_LINT_SKIP=1; analyzer runs in its own CI step" >&2
+  else
+    local lint_args=(--root . --cxx "${CXX:-c++}")
+    [[ ${#LINT_ARGS[@]} -gt 0 ]] && lint_args+=("${LINT_ARGS[@]}")
+    if [[ -n "${SERELIN_LINT_BASE:-}" ]]; then
+      local f
+      while read -r f; do
+        [[ -f "$f" ]] && lint_args+=(--only "$f")
+      done < <(git diff --name-only "$SERELIN_LINT_BASE" -- src tools docs)
+    fi
+    ./build/tools/serelin_lint "${lint_args[@]}"
+  fi
 
   # 2/3 — compile-time race checking: serelin_warnings promotes
   # -Wthread-safety to an error under clang, so a clean clang build *is*
